@@ -1,0 +1,37 @@
+"""Ablation — contribution of each CODAR mechanism (design-choice study).
+
+Not a figure in the paper, but DESIGN.md calls out the three mechanisms
+(qubit locks, commutativity detection, fine priority) plus duration awareness
+as the design choices worth isolating.  The harness re-routes a subset of the
+suite with each mechanism disabled and reports the average slowdown relative
+to full CODAR.
+"""
+
+from repro.experiments.ablation import AblationExperiment
+
+
+def test_codar_ablation(benchmark, paper_scale):
+    if paper_scale:
+        experiment = AblationExperiment(max_qubits=16, max_gates=2500)
+    else:
+        experiment = AblationExperiment(max_qubits=8, max_gates=250)
+
+    records = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+
+    print("\n" + AblationExperiment.report(records))
+
+    variants = {r.variant for r in records}
+    assert variants == {"full", "no_locks", "no_commutativity",
+                        "no_fine_priority", "uniform_durations"}
+
+    def average(variant: str) -> float:
+        subset = [r for r in records if r.variant == variant]
+        return sum(r.slowdown for r in subset) / len(subset)
+
+    benchmark.extra_info.update({v: average(v) for v in variants})
+
+    # Removing mechanisms must never *help* on average by a meaningful margin;
+    # full CODAR should be the best (or tied) configuration.
+    for variant in variants - {"full"}:
+        assert average(variant) >= 0.97, (
+            f"disabling {variant} should not speed CODAR up on average")

@@ -1,0 +1,40 @@
+"""Extension bench — CODAR vs every reimplemented baseline router.
+
+Fig. 8 only compares CODAR against SABRE.  This harness adds the other two
+heuristic families the paper's related-work section discusses — a trivial
+shortest-path SWAP-chain router and the layered A* search of Zulehner et al. —
+routed from the same initial layouts, and prints weighted depth / SWAP count /
+speedup-vs-SABRE per router.
+
+Shape assertion: CODAR achieves the best (lowest) average weighted depth of
+all routers, and every router beats the trivial chain baseline.
+"""
+
+import pytest
+
+from repro.experiments.baselines import BaselineComparisonExperiment
+from repro.experiments.reporting import arithmetic_mean
+
+
+def _experiment(paper_scale: bool) -> BaselineComparisonExperiment:
+    if paper_scale:
+        return BaselineComparisonExperiment(max_qubits=16, max_gates=3000)
+    return BaselineComparisonExperiment(max_qubits=9, max_gates=400)
+
+
+def test_router_baseline_comparison(benchmark, paper_scale):
+    experiment = _experiment(paper_scale)
+    records = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+
+    print("\n" + BaselineComparisonExperiment.report(records))
+
+    routers = sorted({r.router for r in records})
+    means = {name: arithmetic_mean(r.weighted_depth for r in records
+                                   if r.router == name)
+             for name in routers}
+    for name, mean in sorted(means.items(), key=lambda kv: kv[1]):
+        benchmark.extra_info[f"mean_weighted_depth_{name}"] = mean
+
+    assert means["codar"] == min(means.values())
+    assert means["trivial"] == max(means.values())
+    assert means["astar"] <= means["trivial"]

@@ -1,0 +1,48 @@
+"""Extension bench — CODAR speedup as a function of the gate duration model.
+
+The maQAM abstraction (Section III) parameterises the machine by a gate
+duration map so one router can serve superconducting, ion-trap and
+neutral-atom devices; the evaluation only exercises the superconducting point
+(2q = 2 x 1q, SWAP = 3 x 2q).  This harness sweeps the 2q/1q and SWAP/2q
+ratios across the Table I technology range and prints the speedup at each
+grid point.
+
+Shape assertions: CODAR keeps a speedup over SABRE at the paper's
+configuration and at every other ratio of the grid (its advantage is robust
+to the duration model; the isolated contribution of duration awareness is
+measured by the ablation bench instead).
+"""
+
+import pytest
+
+from repro.experiments.sensitivity import DurationSensitivityExperiment
+
+
+def _experiment(paper_scale: bool) -> DurationSensitivityExperiment:
+    if paper_scale:
+        return DurationSensitivityExperiment(max_qubits=16, max_gates=2000,
+                                             two_qubit_ratios=(1, 2, 4, 8, 12),
+                                             swap_ratios=(3, 1))
+    return DurationSensitivityExperiment(max_qubits=8, max_gates=250,
+                                         two_qubit_ratios=(1, 2, 8),
+                                         swap_ratios=(3,))
+
+
+def test_duration_model_sensitivity(benchmark, paper_scale):
+    experiment = _experiment(paper_scale)
+    points = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+
+    print("\n" + DurationSensitivityExperiment.report(points))
+
+    by_ratio = {}
+    for point in points:
+        if point.swap_ratio == 3:
+            by_ratio[point.two_qubit_ratio] = point.average_speedup
+        benchmark.extra_info[
+            f"speedup_2q{point.two_qubit_ratio}_swap{point.swap_ratio}"
+        ] = point.average_speedup
+
+    # The paper's configuration (ratio 2) must show a speedup, and no point of
+    # the technology range may turn the advantage into a clear loss.
+    assert by_ratio[2] > 1.0
+    assert all(speedup > 0.95 for speedup in by_ratio.values())

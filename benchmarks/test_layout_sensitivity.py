@@ -1,0 +1,39 @@
+"""Extension bench — sensitivity of CODAR's results to the initial mapping.
+
+Section V-A: "Initial mapping has been proved to be significant for the qubit
+mapping problem, and for a fair comparison, we use the same method as SABRE to
+create the initial mapping."  This harness quantifies that significance by
+routing the same benchmarks from identity, degree-matched, random and
+reverse-traversal layouts and printing the weighted depth relative to the
+reverse-traversal baseline.
+
+Shape assertion: the reverse-traversal mapping is at least as good on average
+as the naive identity mapping.
+"""
+
+import pytest
+
+from repro.experiments.layouts import LayoutSensitivityExperiment
+from repro.experiments.reporting import arithmetic_mean
+
+
+def _experiment(paper_scale: bool) -> LayoutSensitivityExperiment:
+    if paper_scale:
+        return LayoutSensitivityExperiment(max_qubits=16, max_gates=2000)
+    return LayoutSensitivityExperiment(max_qubits=8, max_gates=300)
+
+
+def test_initial_mapping_sensitivity(benchmark, paper_scale):
+    experiment = _experiment(paper_scale)
+    records = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+
+    print("\n" + LayoutSensitivityExperiment.report(records))
+
+    def mean_relative(strategy: str) -> float:
+        return arithmetic_mean(r.relative_depth for r in records
+                               if r.strategy == strategy)
+
+    for strategy in sorted({r.strategy for r in records}):
+        benchmark.extra_info[f"relative_depth_{strategy}"] = mean_relative(strategy)
+
+    assert mean_relative("reverse_traversal_1") <= mean_relative("identity") + 0.05

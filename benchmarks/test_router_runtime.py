@@ -1,0 +1,43 @@
+"""Compiler runtime — routing throughput of CODAR and SABRE.
+
+The paper's contribution is circuit quality, not compiler speed, but Section
+II-A's motivation for heuristic (rather than solver-based) approaches is
+acceptable compile time on large circuits.  This harness times each router on
+a representative medium and large benchmark so regressions in algorithmic
+complexity show up as benchmark regressions.
+"""
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter
+from repro.mapping.trivial import TrivialRouter
+from repro.workloads.suite import get_benchmark
+
+CASES = [
+    ("qft_10", "ibm_q20_tokyo"),
+    ("random_10_500", "ibm_q20_tokyo"),
+    ("qaoa_16_p3", "ibm_q20_tokyo"),
+]
+
+ROUTERS = {
+    "codar": CodarRouter,
+    "sabre": SabreRouter,
+    "trivial": TrivialRouter,
+}
+
+
+@pytest.mark.parametrize("benchmark_name,device_name", CASES,
+                         ids=[f"{c}@{d}" for c, d in CASES])
+@pytest.mark.parametrize("router_name", list(ROUTERS))
+def test_router_runtime(benchmark, router_name, benchmark_name, device_name):
+    circuit = get_benchmark(benchmark_name)
+    device = get_device(device_name)
+    router = ROUTERS[router_name]()
+
+    result = benchmark(router.run, circuit, device)
+
+    benchmark.extra_info["weighted_depth"] = result.weighted_depth
+    benchmark.extra_info["swaps"] = result.swap_count
+    assert result.weighted_depth > 0

@@ -1,0 +1,39 @@
+"""Extension bench — compiler-runtime scaling of CODAR, SABRE and layered A*.
+
+The paper positions heuristic search as the scalable alternative to
+solver-based mapping; SABRE's claim is near-linear scaling in gate count.
+This harness routes random circuits of increasing size with all three
+heuristics and prints wall-clock time and per-gate cost.
+
+Shape assertion: every router's runtime grows at most quadratically in the
+gate count over the measured range (a loose bound — the expected behaviour is
+roughly linear with a per-router constant).
+"""
+
+import pytest
+
+from repro.experiments.scaling import RuntimeScalingExperiment
+
+
+def _experiment(paper_scale: bool) -> RuntimeScalingExperiment:
+    if paper_scale:
+        return RuntimeScalingExperiment(num_qubits=16,
+                                        gate_counts=(200, 800, 3200, 12800))
+    return RuntimeScalingExperiment(num_qubits=12, gate_counts=(100, 400, 1600))
+
+
+def test_router_runtime_scaling(benchmark, paper_scale):
+    experiment = _experiment(paper_scale)
+    records = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+
+    print("\n" + RuntimeScalingExperiment.report(records))
+
+    routers = sorted({r.router for r in records})
+    for name in routers:
+        subset = sorted((r for r in records if r.router == name),
+                        key=lambda r: r.num_gates)
+        benchmark.extra_info[f"runtime_s_{name}_largest"] = subset[-1].runtime_s
+        gate_growth = subset[-1].num_gates / subset[0].num_gates
+        time_growth = subset[-1].runtime_s / max(subset[0].runtime_s, 1e-9)
+        # Loose super-linearity bound: runtime grows at most ~quadratically.
+        assert time_growth <= gate_growth ** 2 * 5

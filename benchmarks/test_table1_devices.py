@@ -1,0 +1,36 @@
+"""Table I — parameter information of several quantum computing devices.
+
+Table I is a literature survey; the harness renders it from the calibration
+registry and checks the relationships the rest of the paper builds on:
+two-qubit gates are at least 2x slower than single-qubit gates on
+superconducting and ion-trap hardware, ion traps are ~1000x slower than
+superconducting devices overall, and neutral atoms have the worst two-qubit
+fidelity despite excellent single-qubit gates.
+"""
+
+from repro.arch.calibration import TABLE_I
+from repro.experiments.device_table import device_table, report
+
+
+def test_table1_device_survey(benchmark):
+    rows = benchmark.pedantic(device_table, iterations=1, rounds=5)
+
+    print("\n" + report())
+
+    assert len(rows) == 6
+
+    # Superconducting and ion-trap two-qubit gates are >= 2x slower than 1q.
+    for key in ("ibm_q5", "ibm_q16", "ion_q5"):
+        ratio = TABLE_I[key].duration_ratio()
+        assert ratio is not None and ratio >= 2.0
+
+    # Ion traps are roughly three orders of magnitude slower than
+    # superconducting devices (Section III-A).
+    assert TABLE_I["ion_q5"].duration_1q_ns / TABLE_I["ibm_q16"].duration_1q_ns > 100
+
+    # Neutral atoms: excellent 1q fidelity, worst 2q fidelity.
+    neutral = TABLE_I["neutral_atom"]
+    assert neutral.fidelity_1q > 0.999
+    assert neutral.fidelity_2q == min(
+        cal.fidelity_2q for cal in TABLE_I.values() if cal.fidelity_2q
+    )

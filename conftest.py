@@ -1,0 +1,12 @@
+"""Ensure the in-tree package is importable when running pytest from the repo root.
+
+The offline environment lacks the ``wheel`` package needed for a PEP 660
+editable install, so tests fall back to inserting ``src/`` on ``sys.path``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

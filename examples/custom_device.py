@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Route a QASM program onto a user-defined device (the maQAM in action).
+
+This example shows the "multi-architecture adaptive" part of the abstract
+machine: the same OpenQASM program is compiled onto
+
+* a superconducting-style 3x3 lattice (two-qubit gates 2x slower),
+* an ion-trap-style full chain (two-qubit gates 12.5x slower), and
+* a neutral-atom-style lattice (two-qubit gates as fast as single-qubit ones),
+
+and the resulting weighted depths show how strongly the right routing depends
+on the duration profile of the target technology.
+
+Run with:  python examples/custom_device.py
+"""
+
+from repro import CodarRouter, SabreRouter
+from repro.arch.coupling import CouplingGraph
+from repro.arch.devices import Device
+from repro.arch.durations import GateDurationMap, Technology
+from repro.mapping.verification import verify_routing
+from repro.qasm import parse_qasm
+
+PROGRAM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[6];
+h q[0];
+cx q[0],q[5];
+ccx q[1],q[2],q[3];
+cx q[4],q[0];
+rz(pi/4) q[5];
+cx q[5],q[2];
+cx q[3],q[0];
+measure q -> c;
+"""
+
+
+def build_devices() -> list[Device]:
+    lattice = CouplingGraph.grid(3, 3)
+    chain = CouplingGraph.line(9)
+    return [
+        Device("superconducting_3x3", lattice,
+               GateDurationMap.for_technology(Technology.SUPERCONDUCTING),
+               description="3x3 lattice, CX twice as slow as 1q gates"),
+        Device("ion_trap_chain_9", chain,
+               GateDurationMap.for_technology(Technology.ION_TRAP),
+               description="9-ion chain, XX gates ~12.5x slower than rotations"),
+        Device("neutral_atom_3x3", lattice,
+               GateDurationMap.for_technology(Technology.NEUTRAL_ATOM),
+               description="3x3 optical-tweezer array, 2q gates as fast as 1q"),
+    ]
+
+
+def main() -> None:
+    circuit = parse_qasm(PROGRAM, name="custom_program")
+    print(f"Program: {len(circuit)} gates on {circuit.num_qubits} qubits\n")
+    for device in build_devices():
+        print(f"== {device.name} ({device.description}) ==")
+        for router in (CodarRouter(), SabreRouter()):
+            result = router.run(circuit, device)
+            verify_routing(result)
+            print(f"  {router.name:<7s} swaps={result.swap_count:<3d} "
+                  f"weighted depth={result.weighted_depth:>8.1f} cycles")
+        print()
+
+
+if __name__ == "__main__":
+    main()

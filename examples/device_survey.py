@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Reproduce Table I and inspect the maQAM device registry.
+
+Prints the device-parameter survey (gates, fidelities, durations, T1/T2) and
+the gate-duration maps each technology family implies, then shows the coupling
+statistics of the four evaluation architectures.
+
+Run with:  python examples/device_survey.py
+"""
+
+from repro.arch.devices import paper_devices
+from repro.experiments.device_table import report
+
+
+def main() -> None:
+    print(report())
+    print()
+    print("Evaluation architectures (Fig. 8):")
+    for device in paper_devices():
+        coupling = device.coupling
+        degrees = [coupling.degree(q) for q in range(coupling.num_qubits)]
+        diameter = max(
+            coupling.distance(a, b)
+            for a in range(coupling.num_qubits)
+            for b in range(coupling.num_qubits)
+        )
+        print(f"  {device.name:<20s} qubits={coupling.num_qubits:<3d} "
+              f"edges={coupling.num_edges:<3d} max_degree={max(degrees)} "
+              f"diameter={diameter}  ({device.description})")
+
+
+if __name__ == "__main__":
+    main()

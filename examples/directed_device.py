@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Target a directed-coupling device (IBM QX4/QX5 style).
+
+The early IBM QX machines the related work of the paper targets only drive a
+CNOT in one direction per coupling.  Routing is direction-agnostic (a SWAP is
+symmetric), so the flow is: route with CODAR on the undirected coupling graph,
+then run the orientation pass, which conjugates every misoriented CX with four
+Hadamards.  This example compiles a QASM corpus program for IBM QX5 and prints
+the overhead each stage adds.
+
+Run with:  python examples/directed_device.py [--device ibm_qx5]
+"""
+
+import argparse
+
+from repro import CodarRouter, get_device
+from repro.experiments.reporting import format_table
+from repro.mapping.verification import verify_routing
+from repro.passes.orientation import count_reversals, orient_cx
+from repro.sim.scheduler import weighted_depth
+from repro.workloads.qasm_corpus import corpus_names, load
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="ibm_qx5",
+                        choices=["ibm_qx4", "ibm_qx5"])
+    args = parser.parse_args()
+    device = get_device(args.device)
+    print(f"Device: {device.description}")
+    print(f"Directed couplings: {len(device.directed.directed_edges)} "
+          f"({device.directed.symmetric_fraction():.0%} symmetric)\n")
+
+    rows = []
+    for name in corpus_names():
+        circuit = load(name)
+        if circuit.num_qubits > device.num_qubits:
+            continue
+        result = CodarRouter().run(circuit, device)
+        verify_routing(result, check_semantics=circuit.num_qubits <= 8)
+        oriented = orient_cx(result.routed, device.directed)
+        rows.append({
+            "program": name,
+            "gates_in": len(circuit),
+            "swaps": result.swap_count,
+            "cx_reversals": count_reversals(result.routed, device.directed),
+            "gates_out": len(oriented),
+            "weighted_depth": weighted_depth(oriented, device.durations),
+        })
+
+    print(format_table(rows))
+    print("\nEvery CX of the oriented circuits is natively drivable; each "
+          "reversal costs four extra Hadamards (cheap single-qubit gates), "
+          "which the weighted-depth metric prices at one cycle apiece.")
+
+
+if __name__ == "__main__":
+    main()

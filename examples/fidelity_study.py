@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Reproduce the Fig. 9 fidelity study.
+
+Seven small, well-known algorithms (Bernstein–Vazirani, QFT, GHZ, Grover,
+Deutsch–Jozsa, Simon, ripple-carry adder) are routed by CODAR and by SABRE
+onto a small grid device and then simulated with a noisy density-matrix
+simulator under two regimes:
+
+* dephasing-dominant noise (finite T2, infinite T1), and
+* damping-dominant noise (finite T1, infinite T2).
+
+The paper's conclusion — CODAR's shorter schedules at least maintain fidelity
+despite inserting more SWAPs, and clearly help when dephasing dominates — is
+visible in the per-algorithm table and the average fidelity gaps.
+
+Run with:  python examples/fidelity_study.py [--t1 CYCLES] [--t2 CYCLES]
+"""
+
+import argparse
+
+from repro.experiments.fidelity import FidelityExperiment
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--t1", type=float, default=300.0,
+                        help="T1 (cycles) for the damping-dominant regime")
+    parser.add_argument("--t2", type=float, default=300.0,
+                        help="T2 (cycles) for the dephasing-dominant regime")
+    args = parser.parse_args(argv)
+
+    experiment = FidelityExperiment(t1_cycles=args.t1, t2_cycles=args.t2)
+    records = experiment.run()
+    print(FidelityExperiment.report(records))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Noise-aware routing: avoid low-fidelity couplings without giving up speed.
+
+Section V-B of the paper notes that CODAR may insert more SWAPs than SABRE and
+relies on its shorter schedules to keep fidelity up.  Real devices additionally
+have *heterogeneous* coupling fidelities (the motivation behind Murali et al.
+and Tannu & Qureshi, discussed in Section II).  This example:
+
+1. synthesises a per-edge fidelity map for IBM Q20 Tokyo (a few weak couplings
+   among otherwise good ones),
+2. routes a set of workloads with stock CODAR and with the noise-aware CODAR
+   extension, and
+3. compares SWAP counts, weighted depth, how many SWAPs landed on weak edges
+   and the estimated success probability of each output.
+
+Run with:  python examples/noise_aware_routing.py
+"""
+
+from repro import CodarRouter, get_device
+from repro.arch.calibration import TABLE_I
+from repro.experiments.reporting import format_table
+from repro.mapping.codar.noise_aware import (EdgeFidelityMap,
+                                             NoiseAwareCodarRouter,
+                                             NoiseAwareConfig)
+from repro.mapping.sabre.remapper import reverse_traversal_layout
+from repro.mapping.verification import verify_routing
+from repro.sim.success import estimate_success
+from repro.workloads import generators as gen
+from repro.workloads.algorithms import quantum_volume, vqe_ansatz
+
+
+def build_fidelity_map(device) -> tuple[EdgeFidelityMap, set]:
+    """Synthetic calibration: mostly good edges plus a handful of weak ones."""
+    fidelities = EdgeFidelityMap.randomized(device.coupling, mean=0.985,
+                                            spread=0.005, seed=20)
+    weak_edges = set()
+    for index, edge in enumerate(device.coupling.edges):
+        if index % 7 == 3:          # sprinkle weak couplings deterministically
+            fidelities.set(*edge, 0.86)
+            weak_edges.add(edge)
+    return fidelities, weak_edges
+
+
+def swaps_on_weak_edges(result, weak_edges) -> int:
+    return sum(1 for g in result.routed.gates
+               if g.is_routing_swap
+               and (min(g.qubits), max(g.qubits)) in weak_edges)
+
+
+def main() -> None:
+    device = get_device("ibm_q20_tokyo")
+    calibration = TABLE_I["ibm_q20"]
+    fidelities, weak_edges = build_fidelity_map(device)
+    print(f"Device: {device.description}")
+    print(f"Synthetic calibration: {len(weak_edges)} weak couplings "
+          f"(fidelity 0.86) out of {device.coupling.num_edges}\n")
+
+    workloads = [
+        gen.qft(10),
+        gen.qaoa_maxcut(12, layers=2),
+        quantum_volume(10, seed=4),
+        vqe_ansatz(12, layers=2, entangler="linear"),
+    ]
+    routers = {
+        "codar": CodarRouter(),
+        "codar_noise_aware": NoiseAwareCodarRouter(
+            fidelities, NoiseAwareConfig(fidelity_floor=0.90)),
+    }
+
+    rows = []
+    for circuit in workloads:
+        layout = reverse_traversal_layout(circuit, device)
+        for name, router in routers.items():
+            result = router.run(circuit, device, initial_layout=layout)
+            verify_routing(result, check_semantics=False)
+            esp = estimate_success(result.routed, calibration,
+                                   durations=device.durations)
+            rows.append({
+                "circuit": circuit.name,
+                "router": name,
+                "swaps": result.swap_count,
+                "weak_edge_swaps": swaps_on_weak_edges(result, weak_edges),
+                "weighted_depth": result.weighted_depth,
+                "est_success_prob": esp.probability,
+            })
+
+    print(format_table(rows, float_format="{:.4f}"))
+    print("\nReading: the noise-aware variant steers SWAPs away from the weak "
+          "couplings at (nearly) unchanged weighted depth — the published "
+          "(H_basic, H_fine) priority is never overridden, only tie-broken.")
+
+
+if __name__ == "__main__":
+    main()

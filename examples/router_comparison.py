@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compare every router in the library on one workload family.
+
+The paper's Fig. 8 compares CODAR against SABRE only.  This example routes a
+quantum-volume model circuit (a worst case for routers: the qubit pairing is
+re-randomised every layer) with all four algorithms — the trivial SWAP-chain
+router, the layered A* search, SABRE and CODAR — from the same initial
+mapping, and prints weighted depth, SWAP count, estimated success probability
+and compile time for each.
+
+Run with:  python examples/router_comparison.py [--qubits 12] [--depth 8]
+"""
+
+import argparse
+
+from repro import AStarRouter, CodarRouter, SabreRouter, get_device
+from repro.arch.calibration import TABLE_I
+from repro.experiments.reporting import format_table
+from repro.mapping.sabre.remapper import reverse_traversal_layout
+from repro.mapping.trivial import TrivialRouter
+from repro.mapping.verification import verify_routing
+from repro.sim.success import estimate_success
+from repro.workloads.algorithms import quantum_volume
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=12)
+    parser.add_argument("--depth", type=int, default=8)
+    parser.add_argument("--device", default="ibm_q20_tokyo")
+    args = parser.parse_args()
+
+    circuit = quantum_volume(args.qubits, depth=args.depth, seed=11)
+    device = get_device(args.device)
+    calibration = TABLE_I["ibm_q20"]
+    print(f"Workload: {circuit.name} "
+          f"({len(circuit)} gates, {circuit.num_qubits} qubits)")
+    print(f"Device:   {device.description}\n")
+
+    layout = reverse_traversal_layout(circuit, device)
+    rows = []
+    for router in (TrivialRouter(), AStarRouter(), SabreRouter(), CodarRouter()):
+        result = router.run(circuit, device, initial_layout=layout)
+        verify_routing(result, check_semantics=False)
+        esp = estimate_success(result.routed, calibration,
+                               durations=device.durations)
+        rows.append({
+            "router": router.name,
+            "swaps": result.swap_count,
+            "depth": result.depth,
+            "weighted_depth": result.weighted_depth,
+            "est_success_prob": esp.probability,
+            "compile_time_s": result.runtime_seconds,
+        })
+
+    rows.sort(key=lambda row: row["weighted_depth"])
+    print(format_table(rows, float_format="{:.4f}"))
+    print(f"\nShortest schedule on this workload: {rows[0]['router']}.  "
+          "Across the full Fig. 8 suite CODAR has the best average weighted "
+          "depth (see EXPERIMENTS.md); on individual circuits another router "
+          "can win, and CODAR may spend more SWAPs than SABRE — the trade-off "
+          "Section V-B acknowledges.")
+
+
+if __name__ == "__main__":
+    main()

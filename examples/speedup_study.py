@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce the Fig. 8 speedup study (CODAR vs SABRE across architectures).
+
+The full sweep routes all 71 suite benchmarks on the paper's four
+architectures (IBM Q16 Melbourne, Enfield 6x6, IBM Q20 Tokyo, Google Q54
+Sycamore) and reports the per-architecture average speedup — the numbers the
+paper quotes as 1.212 / 1.241 / 1.214 / 1.258.
+
+Run with:  python examples/speedup_study.py            # quick subset
+           python examples/speedup_study.py --full     # full 71-benchmark sweep
+"""
+
+import argparse
+import sys
+
+from repro.experiments.speedup import SpeedupExperiment
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every suite benchmark (several minutes)")
+    parser.add_argument("--arch", action="append",
+                        help="restrict to one or more architectures "
+                             "(default: the paper's four)")
+    parser.add_argument("--detailed", action="store_true",
+                        help="print the per-benchmark series, not just averages")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if not args.full:
+        kwargs.update(max_benchmark_qubits=12, max_benchmark_gates=800)
+    if args.arch:
+        kwargs.update(architectures=args.arch)
+
+    experiment = SpeedupExperiment(**kwargs)
+
+    def progress(message: str) -> None:
+        print(f"  routing {message}", file=sys.stderr)
+
+    summaries = experiment.run(progress=progress)
+    print()
+    print(SpeedupExperiment.report(summaries, detailed=args.detailed))
+    print()
+    print("Paper reference averages: IBM Q16 1.212, Enfield 6x6 1.241, "
+          "IBM Q20 1.214, Google Q54 1.258")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of CODAR (DAC 2020).
+
+CODAR is a COntext-sensitive and Duration-Aware Remapping algorithm for the
+qubit mapping problem on NISQ devices.  This package provides:
+
+* a quantum circuit intermediate representation with an OpenQASM 2.0 frontend
+  (:mod:`repro.core`, :mod:`repro.qasm`),
+* the multi-architecture adaptive quantum abstract machine (maQAM) with a
+  registry of published device models (:mod:`repro.arch`),
+* the CODAR remapper, the SABRE baseline and a trivial router
+  (:mod:`repro.mapping`),
+* timing, state-vector and noisy density-matrix simulators (:mod:`repro.sim`),
+* the benchmark workload suite used by the paper's evaluation
+  (:mod:`repro.workloads`), and
+* experiment harnesses that regenerate every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import Circuit, get_device, CodarRouter
+>>> circ = Circuit(4)
+>>> _ = circ.h(0).cx(0, 3).t(2).cx(1, 2)
+>>> device = get_device("grid", rows=2, cols=2)
+>>> result = CodarRouter().run(circ, device)
+>>> result.weighted_depth > 0
+True
+"""
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate, GATE_SET
+from repro.arch.devices import get_device, list_devices
+from repro.arch.durations import GateDurationMap
+from repro.mapping.astar.remapper import AStarRouter
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.codar.noise_aware import NoiseAwareCodarRouter
+from repro.mapping.sabre.remapper import SabreRouter
+from repro.mapping.base import RoutingResult
+from repro.mapping.layout import Layout
+from repro.passes.pipeline import transpile
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GATE_SET",
+    "get_device",
+    "list_devices",
+    "GateDurationMap",
+    "AStarRouter",
+    "CodarRouter",
+    "NoiseAwareCodarRouter",
+    "SabreRouter",
+    "RoutingResult",
+    "Layout",
+    "transpile",
+    "__version__",
+]

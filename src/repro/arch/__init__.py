@@ -1,0 +1,34 @@
+"""Multi-architecture Adaptive Quantum Abstract Machine (maQAM).
+
+The static structure of the abstract machine (Table II of the paper) consists
+of the physical qubit set, the coupling graph ``M``, the gate duration map
+``τ`` and the all-pairs shortest-distance matrix ``D``.  The dynamic structure
+(the logical-to-physical mapping ``π`` and the Commutative-Front set) lives in
+:mod:`repro.mapping`.
+
+* :mod:`repro.arch.coupling` — coupling graphs and distance matrices,
+* :mod:`repro.arch.durations` — per-technology gate duration maps,
+* :mod:`repro.arch.calibration` — Table I device-parameter survey,
+* :mod:`repro.arch.devices` — registry of concrete device models,
+* :mod:`repro.arch.maqam` — the combined abstract-machine object.
+"""
+
+from repro.arch.coupling import CouplingGraph
+from repro.arch.directed import DirectedCouplingGraph
+from repro.arch.durations import GateDurationMap, Technology
+from repro.arch.devices import Device, get_device, list_devices
+from repro.arch.maqam import MaQAM
+from repro.arch.calibration import DeviceCalibration, TABLE_I
+
+__all__ = [
+    "CouplingGraph",
+    "DirectedCouplingGraph",
+    "GateDurationMap",
+    "Technology",
+    "Device",
+    "get_device",
+    "list_devices",
+    "MaQAM",
+    "DeviceCalibration",
+    "TABLE_I",
+]

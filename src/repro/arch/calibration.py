@@ -1,0 +1,176 @@
+"""Device calibration data: the Table I survey and noise parameters.
+
+Table I of the paper summarises published parameters of several NISQ devices
+(available gates, fidelities, durations, T1, T2).  The numbers here are the
+ones printed in the paper; the fidelity experiment (Fig. 9) derives its
+dephasing / damping rates from the T1 / T2 columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.arch.durations import GateDurationMap, Technology
+
+
+@dataclass(frozen=True)
+class DeviceCalibration:
+    """Published calibration parameters of one device (one Table I column).
+
+    Durations and coherence times are in nanoseconds so that superconducting,
+    ion-trap and neutral-atom devices share one unit.  ``None`` marks values
+    the paper leaves blank.
+    """
+
+    name: str
+    technology: Technology
+    num_qubits: int
+    one_qubit_gates: tuple[str, ...]
+    two_qubit_gates: tuple[str, ...]
+    fidelity_1q: float | None = None
+    fidelity_2q: float | None = None
+    readout_fidelity: float | None = None
+    average_readout_fidelity: float | None = None
+    duration_1q_ns: float | None = None
+    duration_2q_ns: float | None = None
+    t1_ns: float | None = None
+    t2_ns: float | None = None
+    notes: str = ""
+
+    def duration_ratio(self) -> float | None:
+        """two-qubit duration / one-qubit duration, when both are known."""
+        if self.duration_1q_ns and self.duration_2q_ns:
+            return self.duration_2q_ns / self.duration_1q_ns
+        return None
+
+    def duration_map(self) -> GateDurationMap:
+        """Cycle-level duration map induced by the measured durations.
+
+        The single-qubit duration is one cycle; the two-qubit duration is the
+        rounded ratio (at least 1); SWAP is three two-qubit slots.
+        """
+        ratio = self.duration_ratio()
+        if ratio is None:
+            return GateDurationMap.for_technology(self.technology)
+        two = max(1, round(ratio))
+        return GateDurationMap(single=1, two=two, swap=3 * two)
+
+
+_US = 1_000.0          # microseconds in nanoseconds
+_S = 1_000_000_000.0   # seconds in nanoseconds
+
+#: The Table I survey, keyed by column label.
+TABLE_I: Mapping[str, DeviceCalibration] = {
+    "ion_q5": DeviceCalibration(
+        name="Ion Q5",
+        technology=Technology.ION_TRAP,
+        num_qubits=5,
+        one_qubit_gates=("r",),
+        two_qubit_gates=("xx",),
+        fidelity_1q=0.991,
+        fidelity_2q=0.97,
+        readout_fidelity=0.997,
+        average_readout_fidelity=0.957,
+        duration_1q_ns=20 * _US,
+        duration_2q_ns=250 * _US,
+        t1_ns=float("inf"),
+        t2_ns=0.5 * _S,
+        notes="Linke et al., PNAS 2017",
+    ),
+    "ion_q11": DeviceCalibration(
+        name="Ion Q11",
+        technology=Technology.ION_TRAP,
+        num_qubits=11,
+        one_qubit_gates=("r",),
+        two_qubit_gates=("xx",),
+        fidelity_1q=0.995,
+        fidelity_2q=0.975,
+        readout_fidelity=0.993,
+        duration_1q_ns=20 * _US,
+        duration_2q_ns=250 * _US,
+        notes="Wright et al. 2019 (11-qubit benchmark)",
+    ),
+    "ibm_q5": DeviceCalibration(
+        name="IBM Q5",
+        technology=Technology.SUPERCONDUCTING,
+        num_qubits=5,
+        one_qubit_gates=("x", "y", "z", "h", "s", "t"),
+        two_qubit_gates=("cx",),
+        fidelity_1q=0.997,
+        fidelity_2q=0.965,
+        readout_fidelity=0.96,
+        average_readout_fidelity=0.80,
+        duration_1q_ns=130.0,
+        duration_2q_ns=350.0,
+        t1_ns=60 * _US,
+        t2_ns=60 * _US,
+    ),
+    "ibm_q16": DeviceCalibration(
+        name="IBM Q16",
+        technology=Technology.SUPERCONDUCTING,
+        num_qubits=16,
+        one_qubit_gates=("x", "y", "z", "h", "s", "t"),
+        two_qubit_gates=("cx",),
+        fidelity_1q=0.998,
+        fidelity_2q=0.96,
+        readout_fidelity=0.93,
+        duration_1q_ns=80.0,
+        duration_2q_ns=280.0,
+        t1_ns=70 * _US,
+        t2_ns=70 * _US,
+    ),
+    "ibm_q20": DeviceCalibration(
+        name="IBM Q20",
+        technology=Technology.SUPERCONDUCTING,
+        num_qubits=20,
+        one_qubit_gates=("x", "y", "z", "h", "s", "t"),
+        two_qubit_gates=("cx",),
+        fidelity_1q=0.9956,
+        fidelity_2q=0.97,
+        readout_fidelity=0.912,
+        duration_1q_ns=100.0,
+        duration_2q_ns=200.0,
+        t1_ns=87.29 * _US,
+        t2_ns=54.43 * _US,
+    ),
+    "neutral_atom": DeviceCalibration(
+        name="Neutral Atom",
+        technology=Technology.NEUTRAL_ATOM,
+        num_qubits=49,
+        one_qubit_gates=("r",),
+        two_qubit_gates=("cx",),
+        fidelity_1q=0.99995,
+        fidelity_2q=0.82,
+        readout_fidelity=0.986,
+        average_readout_fidelity=0.974,
+        duration_1q_ns=10 * _US,
+        duration_2q_ns=10 * _US,
+        t1_ns=10 * _S,
+        t2_ns=1 * _S,
+        notes="Sheng et al. 2018; Maller et al. 2015; Levine et al. 2019",
+    ),
+}
+
+
+def table_rows() -> list[dict[str, object]]:
+    """Flatten :data:`TABLE_I` into printable rows (one per device column)."""
+    rows = []
+    for key, cal in TABLE_I.items():
+        rows.append({
+            "key": key,
+            "device": cal.name,
+            "technology": cal.technology.value,
+            "qubits": cal.num_qubits,
+            "1q gates": "/".join(cal.one_qubit_gates),
+            "2q gates": "/".join(cal.two_qubit_gates),
+            "1q fidelity": cal.fidelity_1q,
+            "2q fidelity": cal.fidelity_2q,
+            "readout": cal.readout_fidelity,
+            "1q time (ns)": cal.duration_1q_ns,
+            "2q time (ns)": cal.duration_2q_ns,
+            "T1 (ns)": cal.t1_ns,
+            "T2 (ns)": cal.t2_ns,
+            "2q/1q duration ratio": cal.duration_ratio(),
+        })
+    return rows

@@ -1,0 +1,217 @@
+"""Coupling graphs and shortest-distance matrices.
+
+The coupling graph ``M = (Q_H, E_H)`` records which physical qubit pairs may
+host a two-qubit gate.  CODAR and SABRE both consult the all-pairs
+shortest-path matrix ``D`` (Table II) when scoring candidate SWAPs; it is
+precomputed once per device with a batched BFS.
+
+For 2-D lattice devices the graph additionally knows each qubit's (row, col)
+coordinate so that CODAR's fine priority ``H_fine = -|VD - HD|`` can be
+evaluated; non-lattice devices simply report no coordinates and the fine
+priority degrades to zero, as the paper prescribes ("applies to 2D lattice
+model").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Distance assigned to disconnected qubit pairs (paper: INT_MAX).
+UNREACHABLE = 10**9
+
+
+class CouplingGraph:
+    """Undirected physical-qubit connectivity with cached distances.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of physical qubits ``N``.
+    edges:
+        Iterable of ``(a, b)`` undirected couplings.
+    coordinates:
+        Optional mapping from qubit index to ``(row, col)`` grid coordinates
+        for lattice devices.
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]],
+                 coordinates: Mapping[int, tuple[int, int]] | None = None):
+        if num_qubits <= 0:
+            raise ValueError("a coupling graph needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self._adjacency: list[set[int]] = [set() for _ in range(self.num_qubits)]
+        self._edges: set[tuple[int, int]] = set()
+        for a, b in edges:
+            self.add_edge(a, b)
+        self.coordinates: dict[int, tuple[int, int]] = dict(coordinates or {})
+        self._distance: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_edge(self, a: int, b: int) -> None:
+        a, b = int(a), int(b)
+        if a == b:
+            raise ValueError("self-loop couplings are not allowed")
+        for q in (a, b):
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} outside range 0..{self.num_qubits - 1}")
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._edges.add((min(a, b), max(a, b)))
+        self._distance = None
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of undirected couplings ``(a, b)`` with ``a < b``."""
+        return sorted(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def neighbors(self, qubit: int) -> frozenset[int]:
+        return frozenset(self._adjacency[qubit])
+
+    def degree(self, qubit: int) -> int:
+        return len(self._adjacency[qubit])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def is_connected(self) -> bool:
+        """True when every qubit can reach every other qubit."""
+        if self.num_qubits == 1:
+            return True
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self._adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == self.num_qubits
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path matrix ``D`` (hops), cached.
+
+        Disconnected pairs get :data:`UNREACHABLE`.
+        """
+        if self._distance is None:
+            n = self.num_qubits
+            dist = np.full((n, n), UNREACHABLE, dtype=np.int64)
+            for source in range(n):
+                dist[source, source] = 0
+                frontier = deque([source])
+                while frontier:
+                    node = frontier.popleft()
+                    for nxt in self._adjacency[node]:
+                        if dist[source, nxt] == UNREACHABLE:
+                            dist[source, nxt] = dist[source, node] + 1
+                            frontier.append(nxt)
+            self._distance = dist
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest hop count between two physical qubits."""
+        return int(self.distance_matrix()[a, b])
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest path from ``a`` to ``b`` (inclusive); used by the trivial router."""
+        if a == b:
+            return [a]
+        parent: dict[int, int] = {a: a}
+        frontier = deque([a])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in sorted(self._adjacency[node]):
+                if nxt in parent:
+                    continue
+                parent[nxt] = node
+                if nxt == b:
+                    path = [b]
+                    while path[-1] != a:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                frontier.append(nxt)
+        raise ValueError(f"qubits {a} and {b} are not connected")
+
+    # ------------------------------------------------------------------ #
+    # Lattice geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def has_coordinates(self) -> bool:
+        return bool(self.coordinates)
+
+    def horizontal_distance(self, a: int, b: int) -> int:
+        """|Δcol| between two qubits on a lattice (0 when no geometry known)."""
+        if a not in self.coordinates or b not in self.coordinates:
+            return 0
+        return abs(self.coordinates[a][1] - self.coordinates[b][1])
+
+    def vertical_distance(self, a: int, b: int) -> int:
+        """|Δrow| between two qubits on a lattice (0 when no geometry known)."""
+        if a not in self.coordinates or b not in self.coordinates:
+            return 0
+        return abs(self.coordinates[a][0] - self.coordinates[b][0])
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingGraph":
+        """A 1-D chain of qubits."""
+        edges = [(i, i + 1) for i in range(num_qubits - 1)]
+        coords = {i: (0, i) for i in range(num_qubits)}
+        return cls(num_qubits, edges, coords)
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingGraph":
+        """A cycle of qubits."""
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(num_qubits, edges)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingGraph":
+        """A ``rows x cols`` rectangular lattice (the Enfield 6x6 model)."""
+        def index(r: int, c: int) -> int:
+            return r * cols + c
+
+        edges = []
+        coords = {}
+        for r in range(rows):
+            for c in range(cols):
+                coords[index(r, c)] = (r, c)
+                if c + 1 < cols:
+                    edges.append((index(r, c), index(r, c + 1)))
+                if r + 1 < rows:
+                    edges.append((index(r, c), index(r + 1, c)))
+        return cls(rows * cols, edges, coords)
+
+    @classmethod
+    def from_edge_list(cls, num_qubits: int, edges: Sequence[tuple[int, int]],
+                       coordinates: Mapping[int, tuple[int, int]] | None = None
+                       ) -> "CouplingGraph":
+        return cls(num_qubits, edges, coordinates)
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.Graph` for analysis and plotting."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CouplingGraph(qubits={self.num_qubits}, edges={self.num_edges})"

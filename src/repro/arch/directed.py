@@ -1,0 +1,123 @@
+"""Directed coupling maps (CX orientation constraints).
+
+The early IBM QX devices the paper's related work targets (Siraichi et al.,
+Wille et al. — Section II-A) expose *directed* couplings: a CNOT may only be
+driven with a specific qubit as control.  Routing itself only cares about
+adjacency (a SWAP is symmetric), so the routers in :mod:`repro.mapping` work
+on the undirected graph; the orientation constraint is handled afterwards by
+the :func:`repro.passes.orientation.orient_cx` pass, which flips disallowed
+CNOTs with Hadamards.
+
+:class:`DirectedCouplingGraph` carries both views: the undirected
+:class:`~repro.arch.coupling.CouplingGraph` used for routing and the set of
+allowed ``(control, target)`` directions used for orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.arch.coupling import CouplingGraph
+
+
+class DirectedCouplingGraph:
+    """Physical connectivity with per-edge CX direction constraints.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of physical qubits.
+    directed_edges:
+        Iterable of allowed ``(control, target)`` pairs.  An edge present in
+        both directions is unconstrained; an edge present in one direction
+        only allows that CX orientation natively.
+    coordinates:
+        Optional lattice coordinates forwarded to the undirected graph.
+    """
+
+    def __init__(self, num_qubits: int,
+                 directed_edges: Iterable[tuple[int, int]],
+                 coordinates: Mapping[int, tuple[int, int]] | None = None):
+        directed = set()
+        for control, target in directed_edges:
+            control, target = int(control), int(target)
+            if control == target:
+                raise ValueError("self-loop couplings are not allowed")
+            directed.add((control, target))
+        if not directed:
+            raise ValueError("a directed coupling graph needs at least one edge")
+        self._directed: frozenset[tuple[int, int]] = frozenset(directed)
+        undirected = {(min(a, b), max(a, b)) for a, b in directed}
+        self.undirected = CouplingGraph(num_qubits, undirected, coordinates)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return self.undirected.num_qubits
+
+    @property
+    def directed_edges(self) -> list[tuple[int, int]]:
+        """Sorted list of allowed ``(control, target)`` pairs."""
+        return sorted(self._directed)
+
+    def allows(self, control: int, target: int) -> bool:
+        """True when a CX driven from ``control`` onto ``target`` is native."""
+        return (control, target) in self._directed
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when the pair is coupled in either direction."""
+        return self.undirected.are_adjacent(a, b)
+
+    def needs_reversal(self, control: int, target: int) -> bool:
+        """True when only the opposite orientation is native for this pair.
+
+        Raises ``ValueError`` for pairs that are not coupled at all.
+        """
+        if self.allows(control, target):
+            return False
+        if self.allows(target, control):
+            return True
+        raise ValueError(f"qubits {control} and {target} are not coupled")
+
+    def symmetric_fraction(self) -> float:
+        """Fraction of undirected couplings that are allowed in both directions."""
+        both = sum(1 for a, b in self.undirected.edges
+                   if self.allows(a, b) and self.allows(b, a))
+        return both / self.undirected.num_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DirectedCouplingGraph(qubits={self.num_qubits}, "
+                f"directed_edges={len(self._directed)})")
+
+    # ------------------------------------------------------------------ #
+    # Published directed topologies
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ibm_qx4(cls) -> "DirectedCouplingGraph":
+        """IBM QX4 (Tenerife/Raven family): 5 qubits, bow-tie, fully directed."""
+        edges = [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (2, 4)]
+        coords = {0: (0, 2), 1: (0, 1), 2: (1, 1), 3: (2, 1), 4: (1, 0)}
+        return cls(5, edges, coords)
+
+    @classmethod
+    def ibm_qx5(cls) -> "DirectedCouplingGraph":
+        """IBM QX5 (Rueschlikon): 16 qubits on a directed 2x8 ladder."""
+        edges = [
+            (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4), (6, 5), (6, 7),
+            (6, 11), (7, 10), (8, 7), (9, 8), (9, 10), (11, 10), (12, 5),
+            (12, 11), (12, 13), (13, 4), (13, 14), (15, 0), (15, 2), (15, 14),
+        ]
+        coords = {0: (0, 0), 1: (0, 1), 2: (0, 2), 3: (0, 3), 4: (0, 4),
+                  5: (0, 5), 6: (0, 6), 7: (0, 7), 8: (1, 7), 9: (1, 6),
+                  10: (1, 5), 11: (1, 4), 12: (1, 3), 13: (1, 2), 14: (1, 1),
+                  15: (1, 0)}
+        return cls(16, edges, coords)
+
+    @classmethod
+    def fully_symmetric(cls, coupling: CouplingGraph) -> "DirectedCouplingGraph":
+        """Wrap an undirected graph as a direction-unconstrained directed one."""
+        edges: list[tuple[int, int]] = []
+        for a, b in coupling.edges:
+            edges.append((a, b))
+            edges.append((b, a))
+        return cls(coupling.num_qubits, edges, coupling.coordinates)

@@ -1,0 +1,225 @@
+"""Command-line interface: route OpenQASM files and run the paper's experiments.
+
+Usage (``python -m repro.cli <command> ...``):
+
+* ``route FILE --device ibm_q20_tokyo [--router codar|sabre|astar|trivial]``
+  Parse an OpenQASM 2.0 file, compile it for the device and print the routed
+  QASM plus the metrics the paper reports (weighted depth, SWAP count).
+* ``devices``
+  List the registered device models and their coupling statistics.
+* ``speedup [--full] [--arch NAME ...]``
+  Run the Fig. 8 speedup sweep and print the per-architecture averages.
+* ``fidelity``
+  Run the Fig. 9 fidelity study.
+* ``table1``
+  Print the Table I device survey.
+* ``ablation``
+  Disable CODAR's mechanisms one at a time and report the slowdown.
+* ``baselines``
+  Compare CODAR against the trivial, layered-A* and SABRE routers.
+* ``sensitivity``
+  Sweep the gate-duration model (the maQAM multi-technology question).
+* ``layouts``
+  Compare initial-mapping strategies under CODAR.
+* ``scaling``
+  Measure router runtime as circuits grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.devices import get_device, list_devices
+from repro.experiments.ablation import AblationExperiment
+from repro.experiments.baselines import BaselineComparisonExperiment
+from repro.experiments.device_table import report as table1_report
+from repro.experiments.fidelity import FidelityExperiment
+from repro.experiments.layouts import LayoutSensitivityExperiment
+from repro.experiments.scaling import RuntimeScalingExperiment
+from repro.experiments.sensitivity import DurationSensitivityExperiment
+from repro.experiments.speedup import SpeedupExperiment
+from repro.mapping.astar.remapper import AStarRouter
+from repro.mapping.codar.noise_aware import NoiseAwareCodarRouter
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter
+from repro.mapping.trivial import TrivialRouter
+from repro.passes.pipeline import transpile
+from repro.qasm import circuit_to_qasm, parse_qasm_file
+
+_ROUTERS = {
+    "codar": CodarRouter,
+    "codar-noise-aware": NoiseAwareCodarRouter,
+    "sabre": SabreRouter,
+    "astar": AStarRouter,
+    "trivial": TrivialRouter,
+}
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    circuit = parse_qasm_file(args.file)
+    device = get_device(args.device)
+    router = _ROUTERS[args.router]()
+    result = transpile(circuit, device, router=router, verify=not args.no_verify)
+    summary = result.summary()
+    print(f"# circuit        : {summary['circuit']} "
+          f"({summary['gates_in']} gates, {circuit.num_qubits} qubits)",
+          file=sys.stderr)
+    print(f"# device         : {device.name} ({device.num_qubits} qubits)",
+          file=sys.stderr)
+    print(f"# router         : {summary['router']}", file=sys.stderr)
+    print(f"# inserted SWAPs : {summary['swaps']}", file=sys.stderr)
+    print(f"# weighted depth : {summary['weighted_depth']} cycles", file=sys.stderr)
+    print(f"# verified       : {summary['verified']}", file=sys.stderr)
+    text = circuit_to_qasm(result.compiled)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# routed QASM written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if summary["verified"] else 1
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    for name in list_devices():
+        device = get_device(name)
+        print(f"{name:<20s} qubits={device.num_qubits:<3d} "
+              f"edges={device.coupling.num_edges:<3d} {device.description}")
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if not args.full:
+        kwargs.update(max_benchmark_qubits=12, max_benchmark_gates=800)
+    if args.arch:
+        kwargs.update(architectures=args.arch)
+    experiment = SpeedupExperiment(**kwargs)
+    summaries = experiment.run(progress=lambda m: print(f"  {m}", file=sys.stderr))
+    print(SpeedupExperiment.report(summaries, detailed=args.detailed))
+    return 0
+
+
+def _cmd_fidelity(_args: argparse.Namespace) -> int:
+    print(FidelityExperiment.report(FidelityExperiment().run()))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(table1_report())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    experiment = AblationExperiment(device=get_device(args.device),
+                                    max_qubits=args.max_qubits)
+    print(AblationExperiment.report(experiment.run()))
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    experiment = BaselineComparisonExperiment(device=get_device(args.device),
+                                              max_qubits=args.max_qubits)
+    print(BaselineComparisonExperiment.report(experiment.run(),
+                                              detailed=args.detailed))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    experiment = DurationSensitivityExperiment(device=get_device(args.device),
+                                               max_qubits=args.max_qubits)
+    print(DurationSensitivityExperiment.report(experiment.run()))
+    return 0
+
+
+def _cmd_layouts(args: argparse.Namespace) -> int:
+    experiment = LayoutSensitivityExperiment(device=get_device(args.device),
+                                             max_qubits=args.max_qubits)
+    print(LayoutSensitivityExperiment.report(experiment.run()))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    experiment = RuntimeScalingExperiment(device=get_device(args.device),
+                                          num_qubits=args.qubits,
+                                          gate_counts=tuple(args.gates))
+    print(RuntimeScalingExperiment.report(experiment.run()))
+    return 0
+
+
+def _add_study_options(parser: argparse.ArgumentParser, max_qubits: int) -> None:
+    parser.add_argument("--device", default="ibm_q20_tokyo",
+                        choices=list_devices(), help="target device model")
+    parser.add_argument("--max-qubits", type=int, default=max_qubits,
+                        help="largest benchmark (in qubits) included in the sweep")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route an OpenQASM file onto a device")
+    route.add_argument("file", help="OpenQASM 2.0 input file")
+    route.add_argument("--device", default="ibm_q20_tokyo",
+                       choices=list_devices(), help="target device model")
+    route.add_argument("--router", default="codar", choices=sorted(_ROUTERS))
+    route.add_argument("--output", help="write routed QASM here instead of stdout")
+    route.add_argument("--no-verify", action="store_true",
+                       help="skip coupling/equivalence verification")
+    route.set_defaults(func=_cmd_route)
+
+    devices = sub.add_parser("devices", help="list registered device models")
+    devices.set_defaults(func=_cmd_devices)
+
+    speedup = sub.add_parser("speedup", help="run the Fig. 8 speedup sweep")
+    speedup.add_argument("--full", action="store_true")
+    speedup.add_argument("--arch", action="append")
+    speedup.add_argument("--detailed", action="store_true")
+    speedup.set_defaults(func=_cmd_speedup)
+
+    fidelity = sub.add_parser("fidelity", help="run the Fig. 9 fidelity study")
+    fidelity.set_defaults(func=_cmd_fidelity)
+
+    table1 = sub.add_parser("table1", help="print the Table I device survey")
+    table1.set_defaults(func=_cmd_table1)
+
+    ablation = sub.add_parser("ablation",
+                              help="slowdown from disabling CODAR mechanisms")
+    _add_study_options(ablation, max_qubits=10)
+    ablation.set_defaults(func=_cmd_ablation)
+
+    baselines = sub.add_parser("baselines",
+                               help="compare CODAR with trivial / A* / SABRE")
+    _add_study_options(baselines, max_qubits=10)
+    baselines.add_argument("--detailed", action="store_true")
+    baselines.set_defaults(func=_cmd_baselines)
+
+    sensitivity = sub.add_parser("sensitivity",
+                                 help="speedup vs the gate duration model")
+    _add_study_options(sensitivity, max_qubits=12)
+    sensitivity.set_defaults(func=_cmd_sensitivity)
+
+    layouts = sub.add_parser("layouts",
+                             help="compare initial-mapping strategies")
+    _add_study_options(layouts, max_qubits=10)
+    layouts.set_defaults(func=_cmd_layouts)
+
+    scaling = sub.add_parser("scaling", help="router runtime scaling study")
+    scaling.add_argument("--device", default="ibm_q20_tokyo",
+                         choices=list_devices())
+    scaling.add_argument("--qubits", type=int, default=16)
+    scaling.add_argument("--gates", type=int, nargs="+",
+                         default=[100, 400, 1600])
+    scaling.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

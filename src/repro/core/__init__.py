@@ -1,0 +1,24 @@
+"""Core circuit intermediate representation.
+
+The :mod:`repro.core` package contains the gate model (:mod:`~repro.core.gates`),
+the :class:`~repro.core.circuit.Circuit` container, the dependency DAG used by
+routers (:mod:`~repro.core.dag`), the commutativity engine that computes the
+Commutative-Front gate set of CODAR (:mod:`~repro.core.commutativity`) and
+exact gate unitaries (:mod:`~repro.core.unitary`).
+"""
+
+from repro.core.gates import Gate, GateSpec, GATE_SET, DurationClass
+from repro.core.circuit import Circuit
+from repro.core.dag import CircuitDag
+from repro.core.commutativity import gates_commute, CommutativityChecker
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_SET",
+    "DurationClass",
+    "Circuit",
+    "CircuitDag",
+    "gates_commute",
+    "CommutativityChecker",
+]

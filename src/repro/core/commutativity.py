@@ -1,0 +1,265 @@
+"""Commutativity detection and the Commutative-Front (CF) gate set.
+
+Definition 1 of the paper: given a gate sequence ``I = [g1, g2, ..., gk, ...]``,
+``gk`` is a *commutative forward* gate iff it commutes with every gate that
+precedes it in ``I``.  CF gates can be hoisted to the head of the sequence,
+so they are all logically executable *now*; exposing them (instead of only the
+plain dependency front) gives CODAR's heuristic more context to score SWAPs.
+
+Two gates on disjoint qubits always commute, so the check reduces to pairwise
+commutation against earlier gates that share at least one qubit.  Pairwise
+commutation is decided by fast symbolic rules (diagonal-vs-diagonal, shared
+CX control, shared CX target, X-rotation on a CX target, ...) with an exact
+unitary check as fallback for rare unclassified pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.gates import Gate
+from repro.core.unitary import expand_to, gate_unitary, matrices_commute
+
+#: Gates whose unitary is diagonal in the computational basis.  Any two
+#: diagonal gates commute regardless of which qubits they share.
+_DIAGONAL_LIKE = frozenset(
+    {"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp", "cu1", "rzz"}
+)
+
+#: Pure X-axis gates; they commute with the target leg of a CX and with each
+#: other on the same qubit.
+_X_LIKE = frozenset({"x", "rx", "sx", "sxdg"})
+
+#: Controlled gates whose control leg is Z-like (commutes with diagonal gates
+#: and with other controls on the shared qubit).
+_Z_CONTROLLED = frozenset({"cx", "cy", "cz", "ch", "crx", "cry", "crz", "cp", "cu1", "cu3"})
+
+
+def _shares_qubits(a: Gate, b: Gate) -> bool:
+    return bool(set(a.qubits) & set(b.qubits))
+
+
+def _control_set(gate: Gate) -> frozenset[int]:
+    return frozenset(gate.qubits[i] for i in gate.spec.control_qubits)
+
+
+def _target_set(gate: Gate) -> frozenset[int]:
+    return frozenset(gate.qubits[i] for i in gate.spec.target_qubits)
+
+
+def _role(gate: Gate, qubit: int) -> str:
+    """Classify how ``gate`` acts on ``qubit``: 'diag', 'x', 'control', 'target' or 'other'."""
+    if gate.name in _DIAGONAL_LIKE:
+        return "diag"
+    if gate.name in _X_LIKE:
+        return "x"
+    if gate.name in _Z_CONTROLLED:
+        if qubit in _control_set(gate):
+            return "control"
+        if qubit in _target_set(gate):
+            # The CX/CY/CH target leg behaves like an X-type action for CX,
+            # but in general we only use 'target' for the cx special cases.
+            return "target"
+    return "other"
+
+
+_ROLE_COMMUTES = {
+    # On a shared qubit, these action types commute with each other.
+    ("diag", "diag"): True,
+    ("diag", "control"): True,
+    ("control", "diag"): True,
+    ("control", "control"): True,
+    ("x", "x"): True,
+}
+
+
+def _rule_based(a: Gate, b: Gate) -> bool | None:
+    """Symbolic commutation test; returns None when no rule applies."""
+    # Rule 0: identical gates trivially commute.
+    if a.name == b.name and a.qubits == b.qubits and a.params == b.params:
+        return True
+    # Rule 1: both globally diagonal.
+    if a.name in _DIAGONAL_LIKE and b.name in _DIAGONAL_LIKE:
+        return True
+    # Rule 2: check every shared qubit; all shared legs must commute.
+    shared = set(a.qubits) & set(b.qubits)
+    for q in shared:
+        ra, rb = _role(a, q), _role(b, q)
+        # cx target leg vs x-like single-qubit gate commutes (both are X-type).
+        if {ra, rb} <= {"x", "target"} and _cx_target_is_x_like(a, q) and _cx_target_is_x_like(b, q):
+            continue
+        if _ROLE_COMMUTES.get((ra, rb), False):
+            continue
+        if "other" in (ra, rb) or "target" in (ra, rb):
+            # Not covered by a symbolic rule; let the exact check decide.
+            return None
+        return False
+    return True
+
+
+def _cx_target_is_x_like(gate: Gate, qubit: int) -> bool:
+    """True when the gate acts on ``qubit`` as an X-type operation.
+
+    That is the case for X/RX/SX single-qubit gates and for the target leg of
+    a CX (whose action on the target is X conditioned on the control, which
+    still commutes with other X-type actions).
+    """
+    if gate.name in _X_LIKE:
+        return True
+    if gate.name == "cx" and qubit in _target_set(gate):
+        return True
+    return False
+
+
+def _unitary_check(a: Gate, b: Gate) -> bool:
+    """Exact fallback: embed both gates on their union of qubits and compare."""
+    union = sorted(set(a.qubits) | set(b.qubits))
+    index = {q: i for i, q in enumerate(union)}
+    n = len(union)
+    mat_a = expand_to(gate_unitary(a), tuple(index[q] for q in a.qubits), n)
+    mat_b = expand_to(gate_unitary(b), tuple(index[q] for q in b.qubits), n)
+    return matrices_commute(mat_a, mat_b)
+
+
+def gates_commute(a: Gate, b: Gate, exact_fallback: bool = True) -> bool:
+    """Decide whether two gates commute.
+
+    Measurement, reset and barrier never commute with anything sharing their
+    qubits (a barrier blocks everything that touches any qubit when it has no
+    explicit operand list).
+    """
+    if a.is_barrier or b.is_barrier:
+        barrier, other = (a, b) if a.is_barrier else (b, a)
+        if not barrier.qubits:
+            return False
+        return not _shares_qubits(a, b)
+    if not _shares_qubits(a, b):
+        return True
+    if a.is_measure or b.is_measure or a.name == "reset" or b.name == "reset":
+        return False
+    verdict = _rule_based(a, b)
+    if verdict is not None:
+        return verdict
+    if not exact_fallback:
+        return False
+    try:
+        return _unitary_check(a, b)
+    except ValueError:
+        return False
+
+
+class CommutativityChecker:
+    """Memoising commutation oracle.
+
+    Routing a 30k-gate benchmark asks the same (gate-kind, relative-overlap)
+    questions over and over; caching on a structural key keeps the CF-front
+    computation cheap.
+    """
+
+    def __init__(self, exact_fallback: bool = True):
+        self._exact_fallback = exact_fallback
+        self._cache: dict[tuple, bool] = {}
+
+    def _key(self, a: Gate, b: Gate) -> tuple:
+        # Canonicalise the qubit overlap pattern so distinct qubit indices with
+        # the same sharing structure hit the same cache entry.
+        relabel: dict[int, int] = {}
+        for q in a.qubits + b.qubits:
+            if q not in relabel:
+                relabel[q] = len(relabel)
+        return (
+            a.name, tuple(relabel[q] for q in a.qubits), a.params,
+            b.name, tuple(relabel[q] for q in b.qubits), b.params,
+        )
+
+    def commute(self, a: Gate, b: Gate) -> bool:
+        if not _shares_qubits(a, b) and not (a.is_barrier or b.is_barrier):
+            return True
+        key = self._key(a, b)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = gates_commute(a, b, exact_fallback=self._exact_fallback)
+            self._cache[key] = cached
+        return cached
+
+
+def commutative_front(gates: Sequence[Gate],
+                      checker: CommutativityChecker | None = None,
+                      max_front: int | None = None,
+                      scan_limit: int | None = None) -> list[int]:
+    """Indices of the Commutative-Front gates of ``gates`` (Definition 1).
+
+    Parameters
+    ----------
+    gates:
+        The remaining (un-executed) gate sequence ``I``.
+    checker:
+        Optional shared :class:`CommutativityChecker`.
+    max_front:
+        Stop once this many CF gates have been found (routers only need a
+        bounded look-ahead window).
+    scan_limit:
+        Only examine the first ``scan_limit`` gates of the sequence; beyond
+        that the chance of still commuting with *everything* earlier is
+        negligible and the scan cost is quadratic.
+
+    Returns
+    -------
+    list of indices into ``gates`` that form the CF set, in program order.
+    """
+    checker = checker or CommutativityChecker()
+    front: list[int] = []
+    # Per-qubit list of indices of earlier gates touching that qubit: a later
+    # gate only needs to be checked against earlier gates sharing a qubit.
+    per_qubit: dict[int, list[int]] = {}
+    limit = len(gates) if scan_limit is None else min(scan_limit, len(gates))
+    for k in range(limit):
+        gate = gates[k]
+        if gate.is_barrier and not gate.qubits:
+            # A global barrier: nothing after it can be hoisted.
+            if k == 0:
+                front.append(k)
+            break
+        is_cf = True
+        seen: set[int] = set()
+        for q in gate.qubits:
+            for j in per_qubit.get(q, ()):
+                if j in seen:
+                    continue
+                seen.add(j)
+                if not checker.commute(gates[j], gate):
+                    is_cf = False
+                    break
+            if not is_cf:
+                break
+        if is_cf:
+            front.append(k)
+            if max_front is not None and len(front) >= max_front:
+                break
+        for q in gate.qubits:
+            per_qubit.setdefault(q, []).append(k)
+    if not front and gates:
+        # Degenerate safety net: the first gate is always CF by definition.
+        front.append(0)
+    return front
+
+
+def dependency_front(gates: Sequence[Gate]) -> list[int]:
+    """Plain dependency front (no commutativity): first gate per qubit chain.
+
+    This is what duration-unaware routers such as SABRE use; provided here so
+    the ablation experiment can switch CODAR's look-ahead strategy.
+    """
+    blocked: set[int] = set()
+    front: list[int] = []
+    for k, gate in enumerate(gates):
+        if gate.is_barrier and not gate.qubits:
+            break
+        if any(q in blocked for q in gate.qubits):
+            blocked.update(gate.qubits)
+            continue
+        front.append(k)
+        blocked.update(gate.qubits)
+        if len(blocked) >= 10_000:  # pragma: no cover - defensive bound
+            break
+    return front

@@ -1,0 +1,48 @@
+"""Experiment harnesses that regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.motivating` — the Fig. 1 / Fig. 2 motivating
+  examples (context- and duration-aware SWAP selection on a 4-qubit line),
+* :mod:`repro.experiments.speedup` — the Fig. 8 sweep: CODAR vs SABRE weighted
+  depth over the benchmark suite on the four evaluation architectures,
+* :mod:`repro.experiments.fidelity` — the Fig. 9 sweep: fidelity of seven
+  small algorithms under dephasing- and damping-dominant noise,
+* :mod:`repro.experiments.device_table` — Table I, the device parameter survey,
+* :mod:`repro.experiments.ablation` — design-choice ablations (qubit lock,
+  commutativity detection, fine priority, duration awareness),
+* :mod:`repro.experiments.baselines` — CODAR against every reimplemented
+  router (trivial, layered A*, SABRE) on shared initial layouts,
+* :mod:`repro.experiments.sensitivity` — speedup as a function of the gate
+  duration model (the multi-technology question maQAM raises),
+* :mod:`repro.experiments.layouts` — initial-mapping sensitivity,
+* :mod:`repro.experiments.scaling` — compiler-runtime scaling of the routers,
+* :mod:`repro.experiments.reporting` — small text-table helpers shared by the
+  harnesses and the examples.
+"""
+
+from repro.experiments.speedup import SpeedupExperiment, SpeedupRecord
+from repro.experiments.fidelity import FidelityExperiment, FidelityRecord
+from repro.experiments.device_table import device_table
+from repro.experiments.motivating import (
+    motivating_context_example,
+    motivating_duration_example,
+)
+from repro.experiments.ablation import AblationExperiment
+from repro.experiments.baselines import BaselineComparisonExperiment
+from repro.experiments.layouts import LayoutSensitivityExperiment
+from repro.experiments.scaling import RuntimeScalingExperiment
+from repro.experiments.sensitivity import DurationSensitivityExperiment
+
+__all__ = [
+    "SpeedupExperiment",
+    "SpeedupRecord",
+    "FidelityExperiment",
+    "FidelityRecord",
+    "device_table",
+    "motivating_context_example",
+    "motivating_duration_example",
+    "AblationExperiment",
+    "BaselineComparisonExperiment",
+    "DurationSensitivityExperiment",
+    "LayoutSensitivityExperiment",
+    "RuntimeScalingExperiment",
+]

@@ -1,0 +1,116 @@
+"""Ablation study of CODAR's design choices.
+
+The paper motivates three mechanisms; this harness measures how much each one
+contributes by disabling them independently and re-running the speedup sweep
+on one architecture:
+
+* ``no_locks``          — candidate SWAPs ignore qubit locks (context-blind),
+* ``no_commutativity``  — plain dependency front instead of the CF set,
+* ``no_fine_priority``  — drop the 2-D lattice tie-breaker ``H_fine``,
+* ``uniform_durations`` — route with every gate lasting one cycle
+  (duration-blind), then evaluate with the real durations.
+
+Each variant is compared against full CODAR on the same benchmarks with the
+same initial layouts; the report lists the average slowdown caused by removing
+each mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.devices import Device, get_device
+from repro.arch.durations import UNIFORM_DURATIONS
+from repro.core.circuit import Circuit
+from repro.experiments.reporting import arithmetic_mean, format_table
+from repro.mapping.codar.remapper import CodarConfig, CodarRouter
+from repro.mapping.sabre.remapper import reverse_traversal_layout
+from repro.sim.scheduler import weighted_depth
+from repro.workloads.suite import benchmark_suite
+
+
+@dataclass(frozen=True)
+class AblationRecord:
+    """Weighted depth of one benchmark under one ablated CODAR variant."""
+
+    benchmark: str
+    variant: str
+    weighted_depth: float
+    baseline_weighted_depth: float
+
+    @property
+    def slowdown(self) -> float:
+        """Variant weighted depth / full-CODAR weighted depth (>1 = worse)."""
+        if self.baseline_weighted_depth == 0:
+            return 1.0
+        return self.weighted_depth / self.baseline_weighted_depth
+
+
+class AblationExperiment:
+    """Compare full CODAR against variants with one mechanism removed."""
+
+    def __init__(self, device: Device | None = None,
+                 max_qubits: int = 10, max_gates: int = 600):
+        self.device = device or get_device("ibm_q20_tokyo")
+        self.max_qubits = max_qubits
+        self.max_gates = max_gates
+
+    # ------------------------------------------------------------------ #
+    def variants(self) -> dict[str, CodarRouter]:
+        return {
+            "full": CodarRouter(),
+            "no_locks": CodarRouter(CodarConfig(use_qubit_locks=False)),
+            "no_commutativity": CodarRouter(CodarConfig(use_commutativity=False)),
+            "no_fine_priority": CodarRouter(CodarConfig(use_fine_priority=False)),
+        }
+
+    def circuits(self) -> list[Circuit]:
+        cases = benchmark_suite(max_qubits=min(self.max_qubits, self.device.num_qubits))
+        return [case.build() for case in cases if len(case.build()) <= self.max_gates]
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> list[AblationRecord]:
+        records: list[AblationRecord] = []
+        variants = self.variants()
+        for circuit in self.circuits():
+            layout = reverse_traversal_layout(circuit, self.device)
+            baseline = variants["full"].run(circuit, self.device, initial_layout=layout)
+            for name, router in variants.items():
+                if name == "full":
+                    result = baseline
+                else:
+                    result = router.run(circuit, self.device, initial_layout=layout)
+                records.append(AblationRecord(
+                    benchmark=circuit.name,
+                    variant=name,
+                    weighted_depth=result.weighted_depth,
+                    baseline_weighted_depth=baseline.weighted_depth,
+                ))
+            # Duration-blind variant: route against uniform durations, then
+            # price the resulting circuit with the real duration map.
+            blind_device = self.device.with_durations(UNIFORM_DURATIONS)
+            blind = variants["full"].run(circuit, blind_device, initial_layout=layout)
+            records.append(AblationRecord(
+                benchmark=circuit.name,
+                variant="uniform_durations",
+                weighted_depth=weighted_depth(blind.routed, self.device.durations),
+                baseline_weighted_depth=baseline.weighted_depth,
+            ))
+        return records
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def report(records: Sequence[AblationRecord]) -> str:
+        variants = sorted({r.variant for r in records})
+        rows = []
+        for variant in variants:
+            subset = [r for r in records if r.variant == variant]
+            rows.append({
+                "variant": variant,
+                "benchmarks": len(subset),
+                "average_slowdown_vs_full": arithmetic_mean(r.slowdown for r in subset),
+                "worst_slowdown": max(r.slowdown for r in subset),
+            })
+        return ("Ablation of CODAR mechanisms (slowdown relative to full CODAR):\n"
+                + format_table(rows))

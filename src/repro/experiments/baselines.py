@@ -1,0 +1,128 @@
+"""Cross-router comparison: CODAR against every reimplemented baseline.
+
+Fig. 8 compares CODAR against SABRE only (the strongest published heuristic at
+the time).  This harness widens the comparison to every router in the library
+— trivial shortest-path chains, the layered A* search, SABRE and CODAR, plus
+optionally the noise-aware CODAR variant — on a common benchmark subset with
+shared initial layouts.  It reports weighted depth, SWAP count and runtime per
+router, normalised against SABRE so the numbers slot directly next to the
+paper's.
+
+Expected shape: trivial ≫ A* ≳ SABRE > CODAR in weighted depth, with CODAR
+paying for its speed with a (modest) increase in SWAP count, as Section V-B
+acknowledges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.devices import Device, get_device
+from repro.core.circuit import Circuit
+from repro.experiments.reporting import arithmetic_mean, format_table, geometric_mean
+from repro.mapping.astar.remapper import AStarRouter
+from repro.mapping.base import Router
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
+from repro.mapping.trivial import TrivialRouter
+from repro.workloads.suite import benchmark_suite
+
+
+@dataclass(frozen=True)
+class BaselineRecord:
+    """One (router, benchmark) data point."""
+
+    router: str
+    benchmark: str
+    weighted_depth: float
+    depth: int
+    swaps: int
+    runtime_s: float
+    sabre_weighted_depth: float
+
+    @property
+    def speedup_vs_sabre(self) -> float:
+        if self.weighted_depth == 0:
+            return 1.0
+        return self.sabre_weighted_depth / self.weighted_depth
+
+    def as_row(self) -> dict:
+        return {
+            "router": self.router,
+            "benchmark": self.benchmark,
+            "weighted_depth": self.weighted_depth,
+            "swaps": self.swaps,
+            "speedup_vs_sabre": self.speedup_vs_sabre,
+        }
+
+
+def default_routers() -> list[Router]:
+    """The four routers of the library in increasing sophistication."""
+    return [TrivialRouter(), AStarRouter(), SabreRouter(), CodarRouter()]
+
+
+class BaselineComparisonExperiment:
+    """Route a benchmark subset with every router from shared initial layouts."""
+
+    def __init__(self, device: Device | None = None,
+                 routers: Sequence[Router] | None = None,
+                 max_qubits: int = 10, max_gates: int = 500):
+        self.device = device or get_device("ibm_q20_tokyo")
+        self.routers = list(routers) if routers is not None else default_routers()
+        if not any(r.name == "sabre" for r in self.routers):
+            self.routers.append(SabreRouter())
+        self.max_qubits = max_qubits
+        self.max_gates = max_gates
+
+    # ------------------------------------------------------------------ #
+    def circuits(self) -> list[Circuit]:
+        cases = benchmark_suite(max_qubits=min(self.max_qubits,
+                                               self.device.num_qubits))
+        return [case.build() for case in cases
+                if len(case.build()) <= self.max_gates]
+
+    def run(self) -> list[BaselineRecord]:
+        records: list[BaselineRecord] = []
+        for circuit in self.circuits():
+            layout = reverse_traversal_layout(circuit, self.device)
+            results = {router.name: router.run(circuit, self.device,
+                                               initial_layout=layout)
+                       for router in self.routers}
+            sabre_depth = results["sabre"].weighted_depth
+            for name, result in results.items():
+                records.append(BaselineRecord(
+                    router=name,
+                    benchmark=circuit.name,
+                    weighted_depth=result.weighted_depth,
+                    depth=result.depth,
+                    swaps=result.swap_count,
+                    runtime_s=result.runtime_seconds,
+                    sabre_weighted_depth=sabre_depth,
+                ))
+        return records
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def report(records: Sequence[BaselineRecord], detailed: bool = False) -> str:
+        lines = []
+        if detailed:
+            lines.append(format_table([r.as_row() for r in records]))
+            lines.append("")
+        routers = sorted({r.router for r in records})
+        rows = []
+        for name in routers:
+            subset = [r for r in records if r.router == name]
+            rows.append({
+                "router": name,
+                "benchmarks": len(subset),
+                "mean_weighted_depth": arithmetic_mean(r.weighted_depth for r in subset),
+                "mean_swaps": arithmetic_mean(r.swaps for r in subset),
+                "geomean_speedup_vs_sabre": geometric_mean(
+                    r.speedup_vs_sabre for r in subset),
+                "mean_runtime_s": arithmetic_mean(r.runtime_s for r in subset),
+            })
+        rows.sort(key=lambda row: -row["geomean_speedup_vs_sabre"])
+        lines.append("Router comparison (shared reverse-traversal initial layouts):")
+        lines.append(format_table(rows, float_format="{:.3f}"))
+        return "\n".join(lines)

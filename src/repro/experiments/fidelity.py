@@ -1,0 +1,129 @@
+"""The Fig. 9 experiment: fidelity maintenance under realistic noise.
+
+The paper runs seven well-known algorithms through CODAR and SABRE and
+simulates the routed circuits on OriginQ's noisy virtual machine under two
+regimes: noise dominated by qubit dephasing (T2) and noise dominated by qubit
+damping (T1).  The finding is that CODAR's shorter schedules compensate for
+its extra SWAPs — fidelity stays at least on par with SABRE, and clearly above
+it when dephasing dominates.
+
+This reproduction uses the density-matrix simulator of :mod:`repro.sim` with
+the same two channel families.  To keep the density matrix tractable the
+seven algorithm instances are 4-qubit versions routed onto a 2x3 grid device
+(6 physical qubits) — the same qualitative regime: every algorithm needs
+SWAPs, and the noise strength per cycle is chosen so that total decoherence
+over a routed circuit is appreciable (fidelities fall in the 0.5–1.0 band like
+the paper's bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.devices import Device, get_device
+from repro.core.circuit import Circuit
+from repro.experiments.reporting import format_table
+from repro.mapping.base import Router
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
+from repro.sim.fidelity import routed_fidelity
+from repro.sim.noise import NoiseModel
+from repro.workloads.suite import famous_algorithms
+
+
+#: Default coherence times (in scheduler cycles) for the two Fig. 9 regimes.
+#: A routed 4-qubit algorithm takes a few tens of cycles on the 2x3 grid, so
+#: T = 300 cycles keeps fidelities in the same readable band as the paper.
+DEFAULT_T2_CYCLES = 300.0
+DEFAULT_T1_CYCLES = 300.0
+
+
+@dataclass(frozen=True)
+class FidelityRecord:
+    """Fidelity of one algorithm under one noise regime for both routers."""
+
+    algorithm: str
+    regime: str
+    codar_fidelity: float
+    sabre_fidelity: float
+    codar_weighted_depth: float
+    sabre_weighted_depth: float
+
+    @property
+    def fidelity_gap(self) -> float:
+        """CODAR fidelity minus SABRE fidelity (positive favours CODAR)."""
+        return self.codar_fidelity - self.sabre_fidelity
+
+    def as_row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "regime": self.regime,
+            "codar_fidelity": self.codar_fidelity,
+            "sabre_fidelity": self.sabre_fidelity,
+            "gap": self.fidelity_gap,
+            "codar_wd": self.codar_weighted_depth,
+            "sabre_wd": self.sabre_weighted_depth,
+        }
+
+
+class FidelityExperiment:
+    """Run the Fig. 9 sweep on a small device with a density-matrix simulator."""
+
+    def __init__(self, device: Device | None = None,
+                 circuits: Sequence[Circuit] | None = None,
+                 t1_cycles: float = DEFAULT_T1_CYCLES,
+                 t2_cycles: float = DEFAULT_T2_CYCLES,
+                 codar: Router | None = None,
+                 sabre: Router | None = None):
+        self.device = device or get_device("grid", rows=2, cols=3)
+        self.circuits = list(circuits) if circuits is not None else famous_algorithms()
+        self.t1_cycles = t1_cycles
+        self.t2_cycles = t2_cycles
+        self.codar = codar or CodarRouter()
+        self.sabre = sabre or SabreRouter()
+
+    # ------------------------------------------------------------------ #
+    def noise_regimes(self) -> dict[str, NoiseModel]:
+        return {
+            "dephasing": NoiseModel.dephasing_dominant(self.t2_cycles),
+            "damping": NoiseModel.damping_dominant(self.t1_cycles),
+        }
+
+    def run_single(self, circuit: Circuit, regime: str,
+                   noise: NoiseModel) -> FidelityRecord:
+        layout = reverse_traversal_layout(circuit, self.device)
+        codar_result = self.codar.run(circuit, self.device, initial_layout=layout)
+        sabre_result = self.sabre.run(circuit, self.device, initial_layout=layout)
+        codar_f = routed_fidelity(codar_result, noise)
+        sabre_f = routed_fidelity(sabre_result, noise)
+        return FidelityRecord(
+            algorithm=circuit.name,
+            regime=regime,
+            codar_fidelity=codar_f,
+            sabre_fidelity=sabre_f,
+            codar_weighted_depth=codar_result.weighted_depth,
+            sabre_weighted_depth=sabre_result.weighted_depth,
+        )
+
+    def run(self) -> list[FidelityRecord]:
+        """All (algorithm, regime) combinations, dephasing first like the figure."""
+        records = []
+        for regime, noise in self.noise_regimes().items():
+            for circuit in self.circuits:
+                records.append(self.run_single(circuit.copy(), regime, noise))
+        return records
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def report(records: Sequence[FidelityRecord]) -> str:
+        lines = ["Fig. 9 — fidelity of routed circuits (CODAR vs SABRE):"]
+        lines.append(format_table([r.as_row() for r in records]))
+        for regime in ("dephasing", "damping"):
+            subset = [r for r in records if r.regime == regime]
+            if not subset:
+                continue
+            mean_gap = sum(r.fidelity_gap for r in subset) / len(subset)
+            lines.append(f"average fidelity gap under {regime}: {mean_gap:+.4f} "
+                         "(positive favours CODAR)")
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The motivating examples of Section II-B (Fig. 1 and Fig. 2).
+
+Both examples use four qubits on a line with the durations of Fig. 1(a):
+``T = 1`` cycle, ``CX = 2`` cycles, ``SWAP = 6`` cycles.
+
+* Fig. 1 (program context): ``T q2; CX q0,q3; ...`` — a context-blind router
+  may SWAP through the busy qubit Q2 and serialise behind the T gate; CODAR's
+  qubit lock steers the SWAP onto the free pair (Q1, Q3).
+* Fig. 2 (gate durations): the 4-qubit QFT fragment where ``T q1`` (1 cycle)
+  finishes before ``CX q0,q2`` (2 cycles); a duration-aware router can start
+  ``SWAP q1,q3`` at cycle 1 instead of waiting until cycle 2.
+
+Each function routes the example with CODAR and with the duration-unaware
+SABRE baseline and returns the resulting weighted depths, demonstrating that
+CODAR reproduces the parallelism argued for in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.coupling import CouplingGraph
+from repro.arch.devices import Device
+from repro.arch.durations import GateDurationMap
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.layout import Layout
+from repro.mapping.sabre.remapper import SabreRouter
+
+
+#: The duration table of Fig. 1(a): T = 1, CX = 2, SWAP = 6 cycles.
+FIG1_DURATIONS = GateDurationMap(single=1, two=2, swap=6)
+
+
+def example_device() -> Device:
+    """The 4-qubit device of Fig. 1(a).
+
+    The coupling is the 4-cycle Q0—Q1—Q3—Q2—Q0: Q0 and Q3 are *not* adjacent
+    (which is why ``CX q0,q3`` needs a SWAP) and the four candidate SWAP pairs
+    named in the paper — (Q0,Q1), (Q0,Q2), (Q3,Q1), (Q3,Q2) — are exactly the
+    edges of the graph.  Coordinates place the qubits on a 2x2 lattice so the
+    fine priority is well defined.
+    """
+    coupling = CouplingGraph(
+        4,
+        edges=[(0, 1), (0, 2), (1, 3), (2, 3)],
+        coordinates={0: (0, 0), 1: (0, 1), 2: (1, 0), 3: (1, 1)},
+    )
+    return Device(
+        name="square_4_motivating",
+        coupling=coupling,
+        durations=FIG1_DURATIONS,
+        description="4-qubit square used by the Fig. 1 / Fig. 2 examples",
+    )
+
+
+def context_example_circuit() -> Circuit:
+    """The Fig. 1(b) program fragment: T q2; CX q0,q3.
+
+    The context gate ``T q2`` keeps Q2 busy, so a context-aware router should
+    route the CX through Q1 instead of waiting for Q2.
+    """
+    circ = Circuit(4, name="fig1_context")
+    circ.t(2)
+    circ.cx(0, 3)
+    return circ
+
+
+def duration_example_circuit() -> Circuit:
+    """The Fig. 2(b) 4-qubit QFT fragment: T q1; CX q0,q2; CX q0,q3.
+
+    ``T q1`` (1 cycle) finishes before ``CX q0,q2`` (2 cycles); only a
+    duration-aware router knows Q1 is free at cycle 1 and can start
+    ``SWAP q1,q3`` one cycle early.
+    """
+    circ = Circuit(4, name="fig2_qft_fragment")
+    circ.t(1)
+    circ.cx(0, 2)
+    circ.cx(0, 3)
+    return circ
+
+
+@dataclass(frozen=True)
+class MotivatingResult:
+    """Weighted depths of one motivating example under both routers."""
+
+    example: str
+    codar_weighted_depth: float
+    sabre_weighted_depth: float
+    codar_swaps: int
+    sabre_swaps: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sabre_weighted_depth / self.codar_weighted_depth
+
+
+def _run(example: str, circuit: Circuit) -> MotivatingResult:
+    device = example_device()
+    layout = Layout.identity(4)  # the figures map q[i] onto Q_i directly
+    codar = CodarRouter().run(circuit, device, initial_layout=layout)
+    sabre = SabreRouter().run(circuit, device, initial_layout=layout)
+    return MotivatingResult(
+        example=example,
+        codar_weighted_depth=codar.weighted_depth,
+        sabre_weighted_depth=sabre.weighted_depth,
+        codar_swaps=codar.swap_count,
+        sabre_swaps=sabre.swap_count,
+    )
+
+
+def motivating_context_example() -> MotivatingResult:
+    """Route the Fig. 1 example; CODAR should not be slower than SABRE."""
+    return _run("fig1_context", context_example_circuit())
+
+
+def motivating_duration_example() -> MotivatingResult:
+    """Route the Fig. 2 example; CODAR should not be slower than SABRE."""
+    return _run("fig2_duration", duration_example_circuit())

@@ -1,0 +1,58 @@
+"""Plain-text table rendering shared by the experiment harnesses and examples.
+
+The benchmark harnesses print the same rows/series the paper reports; these
+helpers keep that output readable without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` selects and orders the columns (defaults to the keys of the
+    first row).  Floats are formatted with ``float_format``; None becomes "-".
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+                     for line in table)
+    return "\n".join([header, separator, body])
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional aggregate for speedup ratios)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)

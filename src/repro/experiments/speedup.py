@@ -1,0 +1,194 @@
+"""The Fig. 8 experiment: CODAR vs SABRE circuit-execution speedup.
+
+For every benchmark of the suite and every evaluation architecture, the
+experiment:
+
+1. builds the shared initial mapping with SABRE's reverse traversal (the paper
+   uses "the same method as SABRE to create the initial mapping" for both
+   algorithms),
+2. routes the circuit with SABRE and with CODAR,
+3. computes the weighted depth of both outputs under the architecture's gate
+   duration map (superconducting preset: 1 / 2 / 6 cycles), and
+4. reports the speedup ratio ``weighted_depth(SABRE) / weighted_depth(CODAR)``.
+
+The per-architecture averages correspond to the numbers quoted in Section V-A
+(1.212 / 1.241 / 1.214 / 1.258 on IBM Q16, Enfield 6x6, IBM Q20 and Sycamore
+respectively).  Absolute values differ because the benchmark binaries are
+regenerated (see DESIGN.md), but CODAR is expected to win on average on every
+architecture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.arch.devices import PAPER_ARCHITECTURES, Device, get_device
+from repro.core.circuit import Circuit
+from repro.experiments.reporting import arithmetic_mean, format_table, geometric_mean
+from repro.mapping.base import Router
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
+from repro.workloads.suite import BenchmarkCase, benchmark_suite
+
+
+@dataclass(frozen=True)
+class SpeedupRecord:
+    """One (benchmark, architecture) data point of Fig. 8."""
+
+    benchmark: str
+    device: str
+    num_qubits: int
+    gate_count: int
+    codar_weighted_depth: float
+    sabre_weighted_depth: float
+    codar_swaps: int
+    sabre_swaps: int
+    codar_runtime_s: float
+    sabre_runtime_s: float
+
+    @property
+    def speedup(self) -> float:
+        """SABRE weighted depth / CODAR weighted depth (>1 means CODAR is faster)."""
+        if self.codar_weighted_depth == 0:
+            return 1.0
+        return self.sabre_weighted_depth / self.codar_weighted_depth
+
+    def as_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "device": self.device,
+            "qubits": self.num_qubits,
+            "gates": self.gate_count,
+            "codar_wd": self.codar_weighted_depth,
+            "sabre_wd": self.sabre_weighted_depth,
+            "speedup": self.speedup,
+            "codar_swaps": self.codar_swaps,
+            "sabre_swaps": self.sabre_swaps,
+        }
+
+
+@dataclass
+class SpeedupSummary:
+    """Per-architecture aggregate of the Fig. 8 sweep."""
+
+    device: str
+    records: list[SpeedupRecord]
+
+    @property
+    def average_speedup(self) -> float:
+        return arithmetic_mean(r.speedup for r in self.records)
+
+    @property
+    def geomean_speedup(self) -> float:
+        return geometric_mean(r.speedup for r in self.records)
+
+    @property
+    def wins(self) -> int:
+        return sum(1 for r in self.records if r.speedup > 1.0)
+
+    def as_row(self) -> dict:
+        return {
+            "device": self.device,
+            "benchmarks": len(self.records),
+            "average_speedup": self.average_speedup,
+            "geomean_speedup": self.geomean_speedup,
+            "codar_wins": self.wins,
+        }
+
+
+class SpeedupExperiment:
+    """Run the Fig. 8 sweep (or a subset of it).
+
+    Parameters
+    ----------
+    architectures:
+        Device names; defaults to the paper's four evaluation architectures.
+    max_benchmark_qubits / max_benchmark_gates:
+        Optional limits to keep CI-sized runs fast; the full sweep uses no
+        limits.
+    codar / sabre:
+        Router instances, overridable for ablations.
+    reverse_traversal_rounds:
+        Rounds of SABRE reverse traversal used to build the shared initial
+        layout (0 keeps the plain degree-matched layout).
+    """
+
+    def __init__(self, architectures: Sequence[str] = PAPER_ARCHITECTURES,
+                 max_benchmark_qubits: int | None = None,
+                 max_benchmark_gates: int | None = None,
+                 codar: Router | None = None,
+                 sabre: Router | None = None,
+                 reverse_traversal_rounds: int = 1):
+        self.architectures = list(architectures)
+        self.max_benchmark_qubits = max_benchmark_qubits
+        self.max_benchmark_gates = max_benchmark_gates
+        self.codar = codar or CodarRouter()
+        self.sabre = sabre or SabreRouter()
+        self.reverse_traversal_rounds = reverse_traversal_rounds
+
+    # ------------------------------------------------------------------ #
+    def cases_for(self, device: Device) -> list[BenchmarkCase]:
+        """Suite entries that fit the device (and the optional size limits)."""
+        cases = [c for c in benchmark_suite(max_qubits=device.num_qubits)]
+        if self.max_benchmark_qubits is not None:
+            cases = [c for c in cases if c.num_qubits <= self.max_benchmark_qubits]
+        if self.max_benchmark_gates is not None:
+            cases = [c for c in cases if len(c.build()) <= self.max_benchmark_gates]
+        return cases
+
+    def run_single(self, circuit: Circuit, device: Device) -> SpeedupRecord:
+        """Route one circuit with both algorithms from the same initial mapping."""
+        layout = reverse_traversal_layout(circuit, device,
+                                          rounds=self.reverse_traversal_rounds)
+        start = time.perf_counter()
+        codar_result = self.codar.run(circuit, device, initial_layout=layout)
+        codar_time = time.perf_counter() - start
+        start = time.perf_counter()
+        sabre_result = self.sabre.run(circuit, device, initial_layout=layout)
+        sabre_time = time.perf_counter() - start
+        return SpeedupRecord(
+            benchmark=circuit.name,
+            device=device.name,
+            num_qubits=circuit.num_qubits,
+            gate_count=len(circuit),
+            codar_weighted_depth=codar_result.weighted_depth,
+            sabre_weighted_depth=sabre_result.weighted_depth,
+            codar_swaps=codar_result.swap_count,
+            sabre_swaps=sabre_result.swap_count,
+            codar_runtime_s=codar_time,
+            sabre_runtime_s=sabre_time,
+        )
+
+    def run_architecture(self, device_name: str,
+                         progress: Callable[[str], None] | None = None
+                         ) -> SpeedupSummary:
+        """Sweep every fitting benchmark on one architecture."""
+        device = get_device(device_name)
+        records = []
+        for case in self.cases_for(device):
+            if progress is not None:
+                progress(f"{device_name}: {case.name}")
+            records.append(self.run_single(case.build(), device))
+        return SpeedupSummary(device=device_name, records=records)
+
+    def run(self, progress: Callable[[str], None] | None = None
+            ) -> dict[str, SpeedupSummary]:
+        """Run the full sweep; returns one summary per architecture."""
+        return {name: self.run_architecture(name, progress=progress)
+                for name in self.architectures}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def report(summaries: dict[str, SpeedupSummary], detailed: bool = False) -> str:
+        """Printable report: the Fig. 8 series plus the Section V-A averages."""
+        lines = []
+        if detailed:
+            for summary in summaries.values():
+                lines.append(f"== {summary.device} ==")
+                lines.append(format_table([r.as_row() for r in summary.records]))
+                lines.append("")
+        lines.append("Per-architecture averages (paper: 1.212 / 1.241 / 1.214 / 1.258):")
+        lines.append(format_table([s.as_row() for s in summaries.values()]))
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Layer-by-layer A* router in the style of Zulehner, Paler and Wille (TCAD 2019).
+
+The paper's related-work section (II-A) singles out two heuristic families:
+SABRE's SWAP-based front-layer search and Zulehner et al.'s layered A* search,
+which "divide the two-qubit gates into independent layers, then use A* search
+plus heuristic cost function to determine compliant mappings for each layer".
+SABRE is the stronger baseline (and the one Fig. 8 compares against), but the
+A* router is reimplemented here as a second, independent comparator: it lets
+the experiments show where CODAR's duration awareness sits relative to *both*
+published heuristic styles, and it exercises the layering substrate that other
+passes reuse.
+
+Public API
+----------
+:class:`AStarRouter`
+    The router (a :class:`repro.mapping.base.Router` subclass).
+:class:`AStarConfig`
+    Tunable search knobs (node budget, look-ahead weight).
+:func:`repro.mapping.astar.layers.two_qubit_layers`
+    The layer partitioning used by the search.
+"""
+
+from repro.mapping.astar.layers import CircuitLayer, two_qubit_layers
+from repro.mapping.astar.remapper import AStarConfig, AStarRouter
+from repro.mapping.astar.search import SearchResult, astar_mapping_search
+
+__all__ = [
+    "AStarConfig",
+    "AStarRouter",
+    "CircuitLayer",
+    "SearchResult",
+    "astar_mapping_search",
+    "two_qubit_layers",
+]

@@ -1,0 +1,124 @@
+"""Router interface and the routing result record.
+
+Every mapping algorithm (CODAR, SABRE, trivial) implements
+:class:`Router.run`, taking a logical circuit and a device and returning a
+:class:`RoutingResult`:
+
+* a *physical* circuit whose gates act on physical qubit indices and whose
+  two-qubit gates all respect the device coupling,
+* the initial and final layouts, and
+* summary metrics (weighted depth under the device's duration map, plain
+  depth, inserted SWAP count, gate count).
+
+The weighted depth is always recomputed with the shared ASAP scheduler so the
+comparison between routers is metric-identical regardless of how each router
+tracks time internally (this mirrors the paper: "we collect the weighted
+circuit depth of the circuits produced by CODAR and SABRE").
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.devices import Device
+from repro.core.circuit import Circuit
+from repro.mapping.layout import Layout
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one circuit onto one device."""
+
+    router_name: str
+    original: Circuit
+    routed: Circuit
+    device: Device
+    initial_layout: Layout
+    final_layout: Layout
+    swap_count: int
+    weighted_depth: float
+    depth: int
+    runtime_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.routed)
+
+    @property
+    def original_gate_count(self) -> int:
+        return len(self.original)
+
+    def speedup_over(self, other: "RoutingResult") -> float:
+        """``other.weighted_depth / self.weighted_depth`` (how much faster this result is)."""
+        if self.weighted_depth == 0:
+            return 1.0
+        return other.weighted_depth / self.weighted_depth
+
+    def summary(self) -> dict:
+        """Flat dict used by the experiment reports."""
+        return {
+            "router": self.router_name,
+            "circuit": self.original.name,
+            "device": self.device.name,
+            "qubits": self.original.num_qubits,
+            "original_gates": self.original_gate_count,
+            "routed_gates": self.gate_count,
+            "swaps": self.swap_count,
+            "depth": self.depth,
+            "weighted_depth": self.weighted_depth,
+            "runtime_s": round(self.runtime_seconds, 6),
+        }
+
+
+class Router(abc.ABC):
+    """Common interface for mapping algorithms."""
+
+    #: Human-readable algorithm name used in reports.
+    name: str = "router"
+
+    @abc.abstractmethod
+    def _route(self, circuit: Circuit, device: Device,
+               layout: Layout) -> tuple[Circuit, Layout, int, dict]:
+        """Algorithm-specific routing.
+
+        Returns ``(routed_circuit, final_layout, swap_count, extra)`` where
+        the routed circuit's gates act on *physical* qubit indices.
+        """
+
+    def run(self, circuit: Circuit, device: Device,
+            initial_layout: Layout | None = None,
+            layout_strategy: str = "degree", seed: int | None = None) -> RoutingResult:
+        """Route ``circuit`` onto ``device`` and package the result.
+
+        When ``initial_layout`` is omitted one is built with
+        :func:`repro.mapping.layout.initial_layout` using ``layout_strategy``.
+        """
+        from repro.mapping.layout import initial_layout as build_layout
+        from repro.sim.scheduler import asap_schedule
+
+        if circuit.num_qubits > device.num_qubits:
+            raise ValueError(
+                f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits but "
+                f"device {device.name!r} only has {device.num_qubits}")
+        layout = (initial_layout.copy() if initial_layout is not None
+                  else build_layout(circuit, device.coupling, layout_strategy, seed=seed))
+        start = time.perf_counter()
+        routed, final_layout, swap_count, extra = self._route(circuit, device, layout.copy())
+        elapsed = time.perf_counter() - start
+        schedule = asap_schedule(routed, device.durations)
+        return RoutingResult(
+            router_name=self.name,
+            original=circuit,
+            routed=routed,
+            device=device,
+            initial_layout=layout,
+            final_layout=final_layout,
+            swap_count=swap_count,
+            weighted_depth=schedule.makespan,
+            depth=routed.depth(),
+            runtime_seconds=elapsed,
+            extra=extra,
+        )

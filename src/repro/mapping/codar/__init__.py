@@ -1,0 +1,22 @@
+"""The CODAR remapper: context-sensitive, duration-aware SWAP insertion.
+
+* :mod:`repro.mapping.codar.priority` — the heuristic cost function
+  ``Heuristic(g_swap, M, π) = (H_basic, H_fine)`` of Section IV-D,
+* :mod:`repro.mapping.codar.remapper` — the timeline-driven main loop of
+  Section IV-C built on qubit locks and Commutative-Front detection.
+"""
+
+from repro.mapping.codar.remapper import CodarConfig, CodarRouter
+from repro.mapping.codar.noise_aware import (EdgeFidelityMap, NoiseAwareCodarRouter,
+                                             NoiseAwareConfig)
+from repro.mapping.codar.priority import swap_priority, SwapPriority
+
+__all__ = [
+    "CodarConfig",
+    "CodarRouter",
+    "EdgeFidelityMap",
+    "NoiseAwareCodarRouter",
+    "NoiseAwareConfig",
+    "swap_priority",
+    "SwapPriority",
+]

@@ -1,0 +1,14 @@
+"""SABRE baseline router (Li, Ding, Xie — ASPLOS 2019).
+
+SABRE is the best-known heuristic the paper compares CODAR against.  It works
+on the dependency-DAG front layer, scores candidate SWAPs with a
+distance-plus-lookahead cost dampened by per-qubit decay factors and derives
+its initial mapping by reverse traversal.  It is *duration-unaware*: all gates
+are implicitly assumed to take the same time, which is exactly the limitation
+CODAR removes.
+"""
+
+from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
+from repro.mapping.sabre.heuristic import sabre_score
+
+__all__ = ["SabreRouter", "reverse_traversal_layout", "sabre_score"]

@@ -1,0 +1,49 @@
+"""SABRE's SWAP scoring function.
+
+The cost of a candidate SWAP is (Equation 13/14 of the SABRE paper):
+
+``H = max(decay(a), decay(b)) * ( (1/|F|) Σ_{g∈F} D[π'(g)] + W * (1/|E|) Σ_{g∈E} D[π'(g)] )``
+
+where ``F`` is the front layer, ``E`` the extended (look-ahead) set, ``π'``
+the layout after tentatively applying the SWAP and ``D`` the coupling distance
+matrix.  Lower is better.  The decay factors discourage moving the same qubits
+over and over, spreading SWAPs across the device and increasing parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.arch.coupling import CouplingGraph
+from repro.core.gates import Gate
+from repro.mapping.layout import Layout
+
+#: Weight of the extended (look-ahead) set in the SABRE cost (paper value 0.5).
+EXTENDED_SET_WEIGHT = 0.5
+
+
+def _total_distance(gates: Sequence[Gate], coupling: CouplingGraph,
+                    layout: Layout) -> float:
+    total = 0.0
+    for gate in gates:
+        a, b = gate.qubits
+        total += coupling.distance(layout.physical(a), layout.physical(b))
+    return total
+
+
+def sabre_score(phys_a: int, phys_b: int, coupling: CouplingGraph, layout: Layout,
+                front_gates: Sequence[Gate], extended_gates: Sequence[Gate],
+                decay: Sequence[float],
+                extended_weight: float = EXTENDED_SET_WEIGHT) -> float:
+    """Cost of swapping physical qubits ``(phys_a, phys_b)``; lower is better."""
+    swapped = layout.swapped_physical(phys_a, phys_b)
+    front_term = 0.0
+    if front_gates:
+        front_term = _total_distance(front_gates, coupling, swapped) / len(front_gates)
+    extended_term = 0.0
+    if extended_gates:
+        extended_term = (extended_weight
+                         * _total_distance(extended_gates, coupling, swapped)
+                         / len(extended_gates))
+    decay_factor = max(decay[phys_a], decay[phys_b])
+    return decay_factor * (front_term + extended_term)

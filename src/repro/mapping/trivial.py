@@ -1,0 +1,49 @@
+"""Trivial shortest-path router: a correctness-first sanity baseline.
+
+For each two-qubit gate whose operands are not adjacent, the router walks the
+shortest physical path between them and SWAPs the first operand along it until
+the pair becomes adjacent.  No look-ahead, no parallelism, no duration
+awareness — just the simplest transformation that satisfies the coupling
+constraint.  It exists so tests and benchmarks have a known-correct (if slow)
+reference point and so the speedup experiments can show how much headroom
+heuristic routers recover.
+"""
+
+from __future__ import annotations
+
+from repro.arch.devices import Device
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.mapping.base import Router
+from repro.mapping.layout import Layout
+
+
+class TrivialRouter(Router):
+    """Route every blocked CNOT with a greedy shortest-path SWAP chain."""
+
+    name = "trivial"
+
+    def _route(self, circuit: Circuit, device: Device,
+               layout: Layout) -> tuple[Circuit, Layout, int, dict]:
+        coupling = device.coupling
+        routed = Circuit(device.num_qubits, circuit.num_clbits,
+                         name=f"{circuit.name}@{device.name}")
+        swap_count = 0
+        for gate in circuit.gates:
+            if gate.is_barrier:
+                continue
+            if gate.num_qubits == 2:
+                phys_a = layout.physical(gate.qubits[0])
+                phys_b = layout.physical(gate.qubits[1])
+                if not coupling.are_adjacent(phys_a, phys_b):
+                    path = coupling.shortest_path(phys_a, phys_b)
+                    # Move the first operand along the path until adjacent.
+                    for step in path[1:-1]:
+                        current = layout.physical(gate.qubits[0])
+                        routed.append(Gate("swap", (current, step), tag="routing"))
+                        layout.swap_physical(current, step)
+                        swap_count += 1
+            physical = tuple(layout.physical(q) for q in gate.qubits)
+            routed.append(Gate(gate.name, physical, gate.params, gate.cbits,
+                               spec=gate.spec))
+        return routed, layout, swap_count, {}

@@ -1,0 +1,113 @@
+"""Verification of routed circuits.
+
+Two independent checks establish that a router's output is a faithful
+implementation of the input program on the target device:
+
+* :func:`check_coupling_compliance` — every two-qubit gate of the routed
+  circuit acts on a coupled physical pair (the hardware constraint the whole
+  exercise is about);
+* :func:`check_equivalence` — the routed circuit, interpreted with its initial
+  layout and with the inserted SWAPs' final permutation undone, implements the
+  same unitary action as the original circuit.  The check simulates both
+  circuits on a state-vector simulator (random product input states), so it is
+  exact up to numerical tolerance but limited to small circuits.
+
+:func:`verify_routing` bundles both and is used by the integration tests and
+by the property-based routing tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.mapping.base import RoutingResult
+
+
+def check_coupling_compliance(result: RoutingResult) -> list[str]:
+    """Return a list of violations (empty when the routed circuit is compliant)."""
+    coupling = result.device.coupling
+    violations = []
+    for position, gate in enumerate(result.routed.gates):
+        if gate.num_qubits != 2:
+            continue
+        a, b = gate.qubits
+        if not coupling.are_adjacent(a, b):
+            violations.append(
+                f"gate #{position} {gate.name} on physical pair ({a}, {b}) "
+                "is not supported by the coupling graph")
+    return violations
+
+
+def _logical_view(result: RoutingResult) -> Circuit:
+    """Rewrite the routed circuit back onto logical qubits, folding routing SWAPs.
+
+    Starting from the initial layout, every *router-inserted* SWAP (tagged
+    ``"routing"``) updates the tracked permutation instead of being emitted;
+    every other gate — including SWAPs that were part of the source program —
+    is emitted on the logical qubits its physical operands currently hold.  If
+    routing is correct, the emitted sequence is a reordering of the original
+    circuit that respects per-qubit dependencies, hence unitarily equivalent.
+    """
+    layout = result.initial_layout.copy()
+    logical = Circuit(result.original.num_qubits, result.original.num_clbits,
+                      name=f"{result.original.name}_logical_view")
+    n_logical = result.original.num_qubits
+    for gate in result.routed.gates:
+        if gate.is_routing_swap:
+            layout.swap_physical(*gate.qubits)
+            continue
+        logical_qubits = tuple(layout.logical(q) for q in gate.qubits)
+        if any(q >= n_logical for q in logical_qubits):
+            raise ValueError(
+                f"routed gate {gate.name} touches a padding qubit {logical_qubits}")
+        logical.append(Gate(gate.name, logical_qubits, gate.params,
+                            gate.cbits, spec=gate.spec))
+    return logical
+
+
+def check_equivalence(result: RoutingResult, samples: int = 3,
+                      seed: int = 1234, tolerance: float = 1e-7) -> bool:
+    """Statevector equivalence of original and routed circuit (small circuits).
+
+    Random product states are propagated through the original circuit and
+    through the logical view of the routed circuit; the outputs must agree up
+    to global phase.  Measurements are ignored (compared as unitaries).
+    """
+    from repro.sim.statevector import StatevectorSimulator, random_product_state
+
+    original = result.original.without_measurements()
+    logical = _logical_view(result).without_measurements()
+    if original.num_qubits > 12:
+        raise ValueError("equivalence checking is limited to 12 qubits")
+    simulator = StatevectorSimulator()
+    rng = np.random.default_rng(seed)
+    for _ in range(samples):
+        state = random_product_state(original.num_qubits, rng)
+        out_original = simulator.run(original, initial_state=state.copy())
+        out_routed = simulator.run(logical, initial_state=state.copy())
+        overlap = abs(np.vdot(out_original, out_routed))
+        if overlap < 1.0 - tolerance:
+            return False
+    return True
+
+
+def verify_routing(result: RoutingResult, check_semantics: bool | None = None,
+                   samples: int = 3, seed: int = 1234) -> None:
+    """Raise ``AssertionError`` when the routing result is invalid.
+
+    Semantic equivalence is checked by default for circuits of at most 10
+    qubits (state-vector cost); pass ``check_semantics=True`` to force it or
+    ``False`` to skip it.
+    """
+    violations = check_coupling_compliance(result)
+    if violations:
+        raise AssertionError("coupling violations:\n" + "\n".join(violations))
+    if check_semantics is None:
+        check_semantics = result.original.num_qubits <= 10
+    if check_semantics:
+        if not check_equivalence(result, samples=samples, seed=seed):
+            raise AssertionError(
+                f"routed circuit for {result.original.name!r} is not equivalent "
+                "to the original")

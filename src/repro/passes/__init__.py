@@ -1,0 +1,47 @@
+"""Circuit transformation passes.
+
+The maQAM abstraction (Table II) says each technology exposes its own
+elementary gate set — superconducting devices natively run CX, ion traps run
+the Mølmer–Sørensen XX interaction plus arbitrary rotations.  The routing
+algorithms work on whatever two-qubit gates the circuit contains, but a full
+toolchain also needs the surrounding passes:
+
+* :mod:`repro.passes.decompose` — rewrite gates into a target basis
+  (SWAP → 3 CX, CX → XX + rotations for ion traps, CZ/CX interconversion,
+  phase-family normalisation),
+* :mod:`repro.passes.optimize` — peephole clean-ups that real compilers run
+  before and after routing (adjacent inverse cancellation, rotation merging,
+  removal of zero-angle rotations),
+* :mod:`repro.passes.pipeline` — compose passes and the router into a single
+  ``transpile`` call, the convenience entry point used by the CLI.
+"""
+
+from repro.passes.decompose import (
+    BASIS_IBM,
+    BASIS_ION_TRAP,
+    decompose_to_basis,
+    decompose_swaps,
+)
+from repro.passes.optimize import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    remove_trivial_gates,
+    optimize_circuit,
+)
+from repro.passes.orientation import count_reversals, orient_cx
+from repro.passes.pipeline import TranspileResult, transpile
+
+__all__ = [
+    "BASIS_IBM",
+    "BASIS_ION_TRAP",
+    "decompose_to_basis",
+    "decompose_swaps",
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "remove_trivial_gates",
+    "optimize_circuit",
+    "count_reversals",
+    "orient_cx",
+    "transpile",
+    "TranspileResult",
+]

@@ -1,0 +1,273 @@
+"""Gate decomposition into technology-specific bases.
+
+Two named bases cover the technologies of Table I:
+
+* :data:`BASIS_IBM` — the superconducting basis ``{cx, rz, sx, x, h, ...}``;
+  every standard-library gate already has a textbook rewrite onto it.
+* :data:`BASIS_ION_TRAP` — the trapped-ion basis ``{xx, rx, ry, rz}``;
+  a CNOT becomes one XX(π/4) interaction plus four single-qubit rotations
+  (Section III-A of the paper, following Debnath et al. 2016).
+
+Decomposition is semantics-preserving up to global phase; the unit tests
+check each rewrite against the dense unitaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+
+#: Native gate names of IBM-style superconducting devices.
+BASIS_IBM: frozenset[str] = frozenset({
+    "cx", "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+    "rx", "ry", "rz", "p", "u1", "u2", "u3", "u", "measure", "reset", "barrier",
+})
+
+#: Native gate names of ion-trap devices (single-qubit rotations + XX).
+BASIS_ION_TRAP: frozenset[str] = frozenset({
+    "xx", "rx", "ry", "rz", "id", "measure", "reset", "barrier",
+})
+
+
+def _swap_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [Gate("cx", (a, b), tag=gate.tag), Gate("cx", (b, a), tag=gate.tag),
+            Gate("cx", (a, b), tag=gate.tag)]
+
+
+def _cz_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [Gate("h", (b,)), Gate("cx", (a, b)), Gate("h", (b,))]
+
+
+def _cy_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [Gate("sdg", (b,)), Gate("cx", (a, b)), Gate("s", (b,))]
+
+
+def _ch_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [
+        Gate("ry", (b,), (math.pi / 4,)), Gate("cx", (a, b)),
+        Gate("ry", (b,), (-math.pi / 4,)),
+    ]
+
+
+def _cp_to_cx(gate: Gate) -> list[Gate]:
+    lam = gate.params[0]
+    a, b = gate.qubits
+    return [
+        Gate("u1", (a,), (lam / 2,)),
+        Gate("cx", (a, b)),
+        Gate("u1", (b,), (-lam / 2,)),
+        Gate("cx", (a, b)),
+        Gate("u1", (b,), (lam / 2,)),
+    ]
+
+
+def _crz_to_cx(gate: Gate) -> list[Gate]:
+    phi = gate.params[0]
+    a, b = gate.qubits
+    return [
+        Gate("rz", (b,), (phi / 2,)),
+        Gate("cx", (a, b)),
+        Gate("rz", (b,), (-phi / 2,)),
+        Gate("cx", (a, b)),
+    ]
+
+
+def _crx_to_cx(gate: Gate) -> list[Gate]:
+    theta = gate.params[0]
+    a, b = gate.qubits
+    return [
+        Gate("h", (b,)),
+        *_crz_to_cx(Gate("crz", (a, b), (theta,))),
+        Gate("h", (b,)),
+    ]
+
+
+def _cry_to_cx(gate: Gate) -> list[Gate]:
+    theta = gate.params[0]
+    a, b = gate.qubits
+    return [
+        Gate("ry", (b,), (theta / 2,)),
+        Gate("cx", (a, b)),
+        Gate("ry", (b,), (-theta / 2,)),
+        Gate("cx", (a, b)),
+    ]
+
+
+def _cu3_to_cx(gate: Gate) -> list[Gate]:
+    theta, phi, lam = gate.params
+    a, b = gate.qubits
+    return [
+        Gate("u1", (a,), ((lam + phi) / 2,)),
+        Gate("u1", (b,), ((lam - phi) / 2,)),
+        Gate("cx", (a, b)),
+        Gate("u3", (b,), (-theta / 2, 0.0, -(phi + lam) / 2)),
+        Gate("cx", (a, b)),
+        Gate("u3", (b,), (theta / 2, phi, 0.0)),
+    ]
+
+
+def _rzz_to_cx(gate: Gate) -> list[Gate]:
+    theta = gate.params[0]
+    a, b = gate.qubits
+    return [Gate("cx", (a, b)), Gate("rz", (b,), (theta,)), Gate("cx", (a, b))]
+
+
+def _rxx_to_cx(gate: Gate) -> list[Gate]:
+    theta = gate.params[0]
+    a, b = gate.qubits
+    return [
+        Gate("h", (a,)), Gate("h", (b,)),
+        *_rzz_to_cx(Gate("rzz", (a, b), (theta,))),
+        Gate("h", (a,)), Gate("h", (b,)),
+    ]
+
+
+def _ryy_to_cx(gate: Gate) -> list[Gate]:
+    theta = gate.params[0]
+    a, b = gate.qubits
+    half_pi = math.pi / 2
+    return [
+        Gate("rx", (a,), (half_pi,)), Gate("rx", (b,), (half_pi,)),
+        *_rzz_to_cx(Gate("rzz", (a, b), (theta,))),
+        Gate("rx", (a,), (-half_pi,)), Gate("rx", (b,), (-half_pi,)),
+    ]
+
+
+def _iswap_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [
+        Gate("s", (a,)), Gate("s", (b,)), Gate("h", (a,)),
+        Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("h", (b,)),
+    ]
+
+
+def _xx_to_cx(gate: Gate) -> list[Gate]:
+    # The xx gate is defined as Rxx(pi/2) up to convention (see unitary.py).
+    return _rxx_to_cx(Gate("rxx", gate.qubits, (math.pi / 2,)))
+
+
+#: Rewrites from non-native gates onto the CX + single-qubit basis.
+_TO_CX_BASIS: dict[str, Callable[[Gate], list[Gate]]] = {
+    "swap": _swap_to_cx,
+    "cz": _cz_to_cx,
+    "cy": _cy_to_cx,
+    "ch": _ch_to_cx,
+    "cp": _cp_to_cx,
+    "cu1": _cp_to_cx,
+    "crz": _crz_to_cx,
+    "crx": _crx_to_cx,
+    "cry": _cry_to_cx,
+    "cu3": _cu3_to_cx,
+    "rzz": _rzz_to_cx,
+    "rxx": _rxx_to_cx,
+    "ryy": _ryy_to_cx,
+    "iswap": _iswap_to_cx,
+    "xx": _xx_to_cx,
+}
+
+
+def _cx_to_xx(gate: Gate) -> list[Gate]:
+    """CNOT on an ion trap: one XX(π/2) interaction and four rotations.
+
+    Following the standard construction (Maslov 2017 / Debnath et al. 2016):
+    ``CX(c, t) = Ry(π/2)_c · XX(π/2) · Rx(-π/2)_c · Rx(-π/2)_t · Ry(-π/2)_c``
+    up to a global phase, with our ``xx`` gate defined as ``Rxx(π/2)``.
+    """
+    c, t = gate.qubits
+    half_pi = math.pi / 2
+    return [
+        Gate("ry", (c,), (half_pi,)),
+        Gate("xx", (c, t)),
+        Gate("rx", (c,), (-half_pi,)),
+        Gate("rx", (t,), (-half_pi,)),
+        Gate("ry", (c,), (-half_pi,)),
+    ]
+
+
+def _single_qubit_to_rotations(gate: Gate) -> list[Gate]:
+    """Rewrite any standard single-qubit gate as Rz·Ry·Rz (ZYZ Euler angles)."""
+    import numpy as np
+
+    from repro.core.unitary import gate_unitary
+
+    matrix = gate_unitary(gate)
+    # ZYZ decomposition: U = e^{iα} Rz(β) Ry(γ) Rz(δ).
+    det = np.linalg.det(matrix)
+    su2 = matrix / np.sqrt(det)
+    gamma = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) < 1e-12:
+        beta = 2.0 * np.angle(su2[1, 0])
+        delta = 0.0
+    elif abs(su2[1, 0]) < 1e-12:
+        beta = -2.0 * np.angle(su2[0, 0])
+        delta = 0.0
+    else:
+        beta = np.angle(su2[1, 1]) + np.angle(su2[1, 0])
+        delta = np.angle(su2[1, 1]) - np.angle(su2[1, 0])
+    qubit = gate.qubits[0]
+    out = []
+    if abs(delta) > 1e-12:
+        out.append(Gate("rz", (qubit,), (float(delta),)))
+    if abs(gamma) > 1e-12:
+        out.append(Gate("ry", (qubit,), (float(gamma),)))
+    if abs(beta) > 1e-12:
+        out.append(Gate("rz", (qubit,), (float(beta),)))
+    return out or [Gate("id", (qubit,))]
+
+
+def decompose_swaps(circuit: Circuit) -> Circuit:
+    """Expand every SWAP (program or routing) into three CNOTs.
+
+    Useful when handing a routed circuit to a backend that has no native SWAP;
+    routing tags are propagated so swap accounting survives the rewrite.
+    """
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for gate in circuit.gates:
+        if gate.is_swap:
+            out.extend(_swap_to_cx(gate))
+        else:
+            out.append(gate)
+    return out
+
+
+def decompose_to_basis(circuit: Circuit, basis: Iterable[str]) -> Circuit:
+    """Rewrite ``circuit`` so every gate name is in ``basis``.
+
+    Supported bases are supersets of either :data:`BASIS_IBM` (CX-based) or
+    :data:`BASIS_ION_TRAP` (XX-based).  The pass first lowers everything onto
+    the CX basis, then — when CX itself is not allowed — onto XX plus
+    rotations, finally rewriting leftover single-qubit names as ZYZ rotations.
+    """
+    basis = frozenset(basis)
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+
+    def emit(gate: Gate, depth: int = 0) -> None:
+        if depth > 16:  # pragma: no cover - defensive
+            raise RuntimeError(f"decomposition of {gate.name!r} does not terminate")
+        if gate.name in basis or gate.name in ("measure", "reset", "barrier"):
+            out.append(gate)
+            return
+        if gate.name in _TO_CX_BASIS:
+            for sub in _TO_CX_BASIS[gate.name](gate):
+                emit(sub, depth + 1)
+            return
+        if gate.name == "cx" and "xx" in basis:
+            for sub in _cx_to_xx(gate):
+                emit(sub, depth + 1)
+            return
+        if gate.num_qubits == 1:
+            for sub in _single_qubit_to_rotations(gate):
+                emit(sub, depth + 1)
+            return
+        raise ValueError(f"cannot decompose gate {gate.name!r} into basis {sorted(basis)}")
+
+    for gate in circuit.gates:
+        emit(gate)
+    return out

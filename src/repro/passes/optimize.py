@@ -1,0 +1,131 @@
+"""Peephole circuit optimisations.
+
+These are the clean-up passes a production compiler runs around routing.  They
+matter for the reproduction because decomposition (``ccx`` expansion, basis
+rewriting) and routing (SWAP insertion) both create obvious local
+redundancies, and because weighted depth — the paper's metric — rewards
+removing them equally for CODAR and SABRE, keeping the comparison fair.
+
+All passes are semantics-preserving (up to global phase) and idempotent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+
+#: Pairs of gate names that cancel when adjacent on identical qubits.
+_INVERSE_PAIRS: frozenset[tuple[str, str]] = frozenset({
+    ("x", "x"), ("y", "y"), ("z", "z"), ("h", "h"),
+    ("cx", "cx"), ("cz", "cz"), ("swap", "swap"),
+    ("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"),
+    ("sx", "sxdg"), ("sxdg", "sx"),
+})
+
+#: Rotation families whose adjacent instances on the same qubits merge by
+#: adding angles (all are periodic in 4π; exact 0 after merging is dropped).
+_MERGEABLE_ROTATIONS: frozenset[str] = frozenset({
+    "rz", "rx", "ry", "p", "u1", "rzz", "cp", "cu1", "crz", "crx", "cry",
+    "rxx", "ryy",
+})
+
+_ANGLE_EPS = 1e-12
+
+
+def _cancels(a: Gate, b: Gate) -> bool:
+    if a.qubits != b.qubits or a.cbits or b.cbits:
+        return False
+    if (a.name, b.name) in _INVERSE_PAIRS and not a.params and not b.params:
+        return True
+    return False
+
+
+def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
+    """Remove adjacent mutually-inverse gate pairs (H·H, CX·CX, S·S†, ...).
+
+    The scan keeps a per-qubit stack of pending gates so pairs separated only
+    by gates on *other* qubits still cancel; any intervening gate that shares
+    a qubit blocks the cancellation (it could fail to commute).
+    """
+    kept: list[Gate | None] = []
+    last_on_qubit: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.is_barrier or gate.is_measure or gate.name == "reset":
+            kept.append(gate)
+            for q in gate.qubits:
+                last_on_qubit[q] = len(kept) - 1
+            continue
+        previous_index = None
+        indices = {last_on_qubit.get(q) for q in gate.qubits}
+        if len(indices) == 1 and None not in indices:
+            previous_index = indices.pop()
+        if previous_index is not None:
+            previous = kept[previous_index]
+            if previous is not None and _cancels(previous, gate):
+                kept[previous_index] = None
+                for q in gate.qubits:
+                    last_on_qubit.pop(q, None)
+                continue
+        kept.append(gate)
+        for q in gate.qubits:
+            last_on_qubit[q] = len(kept) - 1
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    out.extend(g for g in kept if g is not None)
+    return out
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Merge adjacent same-axis rotations on identical qubits (Rz·Rz, Rzz·Rzz...)."""
+    kept: list[Gate | None] = []
+    last_on_qubit: dict[int, int] = {}
+    for gate in circuit.gates:
+        merged_into: int | None = None
+        if gate.name in _MERGEABLE_ROTATIONS and not gate.cbits:
+            indices = {last_on_qubit.get(q) for q in gate.qubits}
+            if len(indices) == 1 and None not in indices:
+                previous_index = indices.pop()
+                previous = kept[previous_index]
+                if (previous is not None and previous.name == gate.name
+                        and previous.qubits == gate.qubits):
+                    angle = previous.params[0] + gate.params[0]
+                    kept[previous_index] = Gate(gate.name, gate.qubits, (angle,),
+                                                spec=gate.spec)
+                    merged_into = previous_index
+        if merged_into is None:
+            kept.append(gate)
+            merged_into = len(kept) - 1
+        for q in gate.qubits:
+            last_on_qubit[q] = merged_into
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    out.extend(g for g in kept if g is not None)
+    return out
+
+
+def remove_trivial_gates(circuit: Circuit) -> Circuit:
+    """Drop identity gates and rotations whose angle is a multiple of 4π (or 0)."""
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for gate in circuit.gates:
+        if gate.name == "id":
+            continue
+        if gate.name in _MERGEABLE_ROTATIONS and len(gate.params) == 1:
+            angle = math.remainder(gate.params[0], 4.0 * math.pi)
+            if abs(angle) < _ANGLE_EPS:
+                continue
+        out.append(gate)
+    return out
+
+
+def optimize_circuit(circuit: Circuit, max_rounds: int = 4) -> Circuit:
+    """Run the peephole passes to a fixpoint (bounded number of rounds)."""
+    current = circuit
+    for _ in range(max_rounds):
+        size_before = len(current)
+        current = cancel_adjacent_inverses(current)
+        current = merge_rotations(current)
+        current = remove_trivial_gates(current)
+        if len(current) == size_before:
+            break
+    return current

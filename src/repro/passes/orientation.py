@@ -1,0 +1,126 @@
+"""CX orientation pass for devices with directed couplings.
+
+The routers only guarantee *adjacency*: every two-qubit gate of a routed
+circuit acts on a coupled pair.  On directed devices (early IBM QX machines,
+Section II-A of the paper) a CNOT additionally has to be driven from the
+allowed control qubit.  This pass finishes the job:
+
+* a CX whose orientation is native passes through unchanged;
+* a CX that is only allowed the other way round is rewritten with the
+  four-Hadamard identity ``CX(a,b) = (H⊗H) · CX(b,a) · (H⊗H)``;
+* a SWAP is expanded into three CXs (it has no orientation of its own) which
+  are then oriented individually;
+* CZ is symmetric and passes through (it can be driven either way natively);
+  other two-qubit gates on misoriented pairs are first rewritten onto the CX
+  basis by :func:`repro.passes.decompose.decompose_to_basis`-style rules and
+  then oriented.
+
+The pass asserts that its input is coupling-compliant; it does not route.
+"""
+
+from __future__ import annotations
+
+from repro.arch.directed import DirectedCouplingGraph
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.passes.decompose import decompose_to_basis, BASIS_IBM
+
+#: Two-qubit gates that are symmetric under qubit exchange and therefore need
+#: no orientation fix.
+_SYMMETRIC_TWO_QUBIT = frozenset({"cz", "rzz", "rxx", "ryy", "xx", "iswap", "swap"})
+
+
+def _reverse_cx(gate: Gate) -> list[Gate]:
+    """``CX(a, b)`` rewritten as Hadamard-conjugated ``CX(b, a)``."""
+    control, target = gate.qubits
+    return [
+        Gate("h", (control,)),
+        Gate("h", (target,)),
+        Gate("cx", (target, control), tag=gate.tag),
+        Gate("h", (control,)),
+        Gate("h", (target,)),
+    ]
+
+
+def _swap_to_cx(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    return [Gate("cx", (a, b), tag=gate.tag), Gate("cx", (b, a), tag=gate.tag),
+            Gate("cx", (a, b), tag=gate.tag)]
+
+
+def orient_cx(circuit: Circuit, directed: DirectedCouplingGraph,
+              lower_to_cx_basis: bool = True) -> Circuit:
+    """Return a copy of ``circuit`` whose every CX respects the CX directions.
+
+    Parameters
+    ----------
+    circuit:
+        A *routed* circuit on physical qubits (every two-qubit gate acts on a
+        coupled pair of ``directed``).
+    directed:
+        The device's directed coupling map.
+    lower_to_cx_basis:
+        Rewrite non-CX controlled gates (CP, CRZ, CU3, ...) onto the CX basis
+        first so they too can be oriented.  Disable only when the circuit is
+        already CX-only.
+    """
+    working = circuit
+    if lower_to_cx_basis:
+        names = {g.name for g in circuit.gates
+                 if g.num_qubits == 2 and g.name not in _SYMMETRIC_TWO_QUBIT
+                 and g.name != "cx"}
+        if names:
+            working = decompose_to_basis(circuit, BASIS_IBM | {"swap"})
+
+    out = Circuit(working.num_qubits, working.num_clbits,
+                  name=f"{working.name}_oriented")
+    for gate in working.gates:
+        if gate.num_qubits != 2 or gate.is_barrier:
+            out.append(gate)
+            continue
+        a, b = gate.qubits
+        if not directed.are_adjacent(a, b):
+            raise ValueError(
+                f"gate {gate.name} on ({a}, {b}) is not coupling-compliant; "
+                "route the circuit before orienting it")
+        if gate.name == "swap":
+            for sub in _swap_to_cx(gate):
+                out.extend(_orient_single_cx(sub, directed))
+            continue
+        if gate.name in _SYMMETRIC_TWO_QUBIT:
+            out.append(gate)
+            continue
+        if gate.name == "cx":
+            out.extend(_orient_single_cx(gate, directed))
+            continue
+        raise ValueError(
+            f"cannot orient two-qubit gate {gate.name!r}; lower it to the CX "
+            "basis first (lower_to_cx_basis=True)")
+    return out
+
+
+def _orient_single_cx(gate: Gate, directed: DirectedCouplingGraph) -> list[Gate]:
+    control, target = gate.qubits
+    if directed.needs_reversal(control, target):
+        return _reverse_cx(gate)
+    return [gate]
+
+
+def count_reversals(circuit: Circuit, directed: DirectedCouplingGraph) -> int:
+    """Number of CX gates (after SWAP expansion) that would need reversing.
+
+    A cheap planning metric: together with the SWAP count it predicts the gate
+    overhead of targeting a directed device.
+    """
+    reversals = 0
+    for gate in circuit.gates:
+        if gate.name == "cx":
+            if directed.needs_reversal(*gate.qubits):
+                reversals += 1
+        elif gate.name == "swap":
+            a, b = gate.qubits
+            forward = 0 if directed.allows(a, b) else 1
+            backward = 0 if directed.allows(b, a) else 1
+            # SWAP = CX(a,b) CX(b,a) CX(a,b): two in one direction, one in the other.
+            reversals += 2 * forward + backward
+    return reversals

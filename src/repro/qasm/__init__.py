@@ -1,0 +1,18 @@
+"""OpenQASM 2.0 frontend and backend.
+
+The paper's 71 benchmarks are OpenQASM programs (from Qiskit's repository,
+RevLib, ScaffCC and Quipper).  This package provides a self-contained
+OpenQASM 2.0 toolchain:
+
+* :mod:`repro.qasm.lexer` — tokenizer,
+* :mod:`repro.qasm.ast` — abstract syntax tree nodes,
+* :mod:`repro.qasm.parser` — recursive-descent parser producing a flat
+  :class:`repro.core.circuit.Circuit` (user-defined ``gate`` bodies are
+  inlined, registers are flattened into one index space),
+* :mod:`repro.qasm.exporter` — circuit-to-QASM serialisation.
+"""
+
+from repro.qasm.parser import parse_qasm, parse_qasm_file, QasmError
+from repro.qasm.exporter import circuit_to_qasm
+
+__all__ = ["parse_qasm", "parse_qasm_file", "circuit_to_qasm", "QasmError"]

@@ -1,0 +1,68 @@
+"""Tokenizer for OpenQASM 2.0 source text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class QasmSyntaxError(ValueError):
+    """Raised on malformed OpenQASM input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source line for error reporting."""
+
+    kind: str
+    value: str
+    line: int
+
+
+_KEYWORDS = {
+    "OPENQASM", "include", "qreg", "creg", "gate", "opaque", "measure",
+    "reset", "barrier", "if", "pi",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<real>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"]*")
+  | (?P<arrow>->)
+  | (?P<eq>==)
+  | (?P<symbol>[{}()\[\];,+\-*/^])
+  | (?P<newline>\n)
+  | (?P<space>[ \t\r]+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens, skipping whitespace and comments."""
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("space", "comment"):
+            continue
+        if kind == "bad":
+            raise QasmSyntaxError(f"unexpected character {value!r}", line)
+        if kind == "id" and value in _KEYWORDS:
+            kind = "keyword"
+        yield Token(kind, value, line)
+    yield Token("eof", "", line)

@@ -1,0 +1,42 @@
+"""Simulators: timing (ASAP scheduling), ideal state vectors and noisy evolution.
+
+* :mod:`repro.sim.scheduler` — as-soon-as-possible scheduling under a gate
+  duration map; produces the weighted depth used as the paper's speed metric,
+* :mod:`repro.sim.statevector` — ideal state-vector simulation (equivalence
+  checks, fidelity references),
+* :mod:`repro.sim.noise` — dephasing and amplitude-damping Kraus channels,
+* :mod:`repro.sim.density_matrix` — density-matrix simulation with per-gate,
+  duration-scaled noise (the stand-in for the OriginQ noisy virtual machine),
+* :mod:`repro.sim.fidelity` — end-to-end fidelity evaluation of routed
+  circuits (Fig. 9).
+"""
+
+from repro.sim.scheduler import alap_schedule, asap_schedule, Schedule, ScheduledGate
+from repro.sim.statevector import StatevectorSimulator, random_product_state
+from repro.sim.noise import NoiseModel, dephasing_kraus, amplitude_damping_kraus
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.fidelity import circuit_fidelity, routed_fidelity
+from repro.sim.sampling import (hellinger_fidelity, sample_counts,
+                                total_variation_distance)
+from repro.sim.success import SuccessEstimate, compare_success, estimate_success
+
+__all__ = [
+    "hellinger_fidelity",
+    "sample_counts",
+    "total_variation_distance",
+    "alap_schedule",
+    "asap_schedule",
+    "Schedule",
+    "ScheduledGate",
+    "SuccessEstimate",
+    "compare_success",
+    "estimate_success",
+    "StatevectorSimulator",
+    "random_product_state",
+    "NoiseModel",
+    "dephasing_kraus",
+    "amplitude_damping_kraus",
+    "DensityMatrixSimulator",
+    "circuit_fidelity",
+    "routed_fidelity",
+]

@@ -1,0 +1,128 @@
+"""Noise channels: qubit dephasing and amplitude damping.
+
+The paper's fidelity experiment (Fig. 9) uses OriginQ's noisy virtual machine,
+"based on Qubit Dephasing and Damping model [Nielsen & Chuang]".  This module
+provides the same two single-qubit channels as Kraus operators whose strength
+grows with elapsed time, so that a circuit with a smaller weighted depth
+accumulates less noise — the effect CODAR exploits.
+
+* amplitude damping (energy relaxation, T1):
+  ``γ(Δt) = 1 − exp(−Δt / T1)``
+* phase damping (dephasing, T2):
+  ``λ(Δt) = 1 − exp(−Δt / T2)``
+
+A :class:`NoiseModel` combines both (either can be disabled with an infinite
+time constant) plus an optional per-gate depolarising error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def amplitude_damping_kraus(gamma: float) -> list[np.ndarray]:
+    """Kraus operators of the amplitude-damping channel with parameter ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be within [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    return [k0, k1]
+
+
+def dephasing_kraus(lam: float) -> list[np.ndarray]:
+    """Kraus operators of the phase-damping channel with parameter ``lam``."""
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must be within [0, 1]")
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - lam)]], dtype=complex)
+    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def depolarizing_kraus(probability: float) -> list[np.ndarray]:
+    """Kraus operators of the single-qubit depolarising channel."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    identity = np.eye(2, dtype=complex)
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    return [
+        math.sqrt(1.0 - 3.0 * probability / 4.0) * identity,
+        math.sqrt(probability / 4.0) * x,
+        math.sqrt(probability / 4.0) * y,
+        math.sqrt(probability / 4.0) * z,
+    ]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Time-driven decoherence model applied per qubit.
+
+    Parameters
+    ----------
+    t1:
+        Amplitude-damping time constant in scheduler cycles
+        (``math.inf`` disables damping).
+    t2:
+        Dephasing time constant in cycles (``math.inf`` disables dephasing).
+    gate_error_1q / gate_error_2q:
+        Extra depolarising error applied to the qubits of each one-/two-qubit
+        gate, independent of duration (models control imperfection).
+    """
+
+    t1: float = math.inf
+    t2: float = math.inf
+    gate_error_1q: float = 0.0
+    gate_error_2q: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t1 <= 0 or self.t2 <= 0:
+            raise ValueError("T1 and T2 must be positive")
+        for err in (self.gate_error_1q, self.gate_error_2q):
+            if not 0.0 <= err <= 1.0:
+                raise ValueError("gate errors must be probabilities")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def dephasing_dominant(cls, t2: float, gate_error_2q: float = 0.0) -> "NoiseModel":
+        """Noise dominated by dephasing (the left panel regime of Fig. 9)."""
+        return cls(t1=math.inf, t2=t2, gate_error_2q=gate_error_2q)
+
+    @classmethod
+    def damping_dominant(cls, t1: float, gate_error_2q: float = 0.0) -> "NoiseModel":
+        """Noise dominated by amplitude damping (the right panel regime of Fig. 9)."""
+        return cls(t1=t1, t2=math.inf, gate_error_2q=gate_error_2q)
+
+    @classmethod
+    def noiseless(cls) -> "NoiseModel":
+        return cls()
+
+    @property
+    def is_noiseless(self) -> bool:
+        return (math.isinf(self.t1) and math.isinf(self.t2)
+                and self.gate_error_1q == 0.0 and self.gate_error_2q == 0.0)
+
+    # ------------------------------------------------------------------ #
+    def idle_channels(self, duration: float) -> list[list[np.ndarray]]:
+        """Kraus channel list for ``duration`` cycles of idling on one qubit."""
+        channels: list[list[np.ndarray]] = []
+        if duration <= 0:
+            return channels
+        if not math.isinf(self.t1):
+            gamma = 1.0 - math.exp(-duration / self.t1)
+            channels.append(amplitude_damping_kraus(gamma))
+        if not math.isinf(self.t2):
+            lam = 1.0 - math.exp(-duration / self.t2)
+            channels.append(dephasing_kraus(lam))
+        return channels
+
+    def gate_channels(self, duration: float, num_qubits: int) -> list[list[np.ndarray]]:
+        """Kraus channels applied to each qubit of a gate of ``duration`` cycles."""
+        channels = self.idle_channels(duration)
+        error = self.gate_error_2q if num_qubits == 2 else self.gate_error_1q
+        if error > 0.0:
+            channels.append(depolarizing_kraus(error))
+        return channels

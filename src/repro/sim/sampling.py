@@ -1,0 +1,128 @@
+"""Shot-based measurement sampling and distribution comparison.
+
+Real devices (and the OriginQ virtual machine the paper uses) return *counts*
+— a histogram over measured bit-strings — rather than amplitudes.  This module
+samples counts from the ideal simulators so examples and tests can compare a
+routed circuit against its logical original the same way an experimentalist
+would:
+
+* :func:`sample_counts` — multinomial shots from a state vector (respecting
+  the circuit's measurement map, so a routed circuit's physical bits land back
+  on the right classical bits),
+* :func:`counts_from_density` — exact probabilities / sampled shots from a
+  density matrix (for noisy runs),
+* :func:`hellinger_fidelity` and :func:`total_variation_distance` — the two
+  standard figures of merit for comparing count distributions.
+
+Bit-string keys are little-endian (classical bit 0 is the right-most
+character), matching the OpenQASM ``creg`` convention used by the exporter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.sim.statevector import StatevectorSimulator
+
+
+def _measurement_map(circuit: Circuit) -> dict[int, int]:
+    """Map classical bit -> measured qubit (last measurement wins, like QASM)."""
+    mapping: dict[int, int] = {}
+    for gate in circuit.gates:
+        if gate.is_measure and gate.cbits:
+            mapping[gate.cbits[0]] = gate.qubits[0]
+    return mapping
+
+
+def _format_bits(value: int, width: int) -> str:
+    return format(value, f"0{width}b")
+
+
+def probabilities_over_cbits(circuit: Circuit, state: np.ndarray | None = None
+                             ) -> dict[str, float]:
+    """Exact outcome probabilities marginalised onto the measured classical bits.
+
+    Qubits that are never measured are traced out.  A circuit without
+    measurements is treated as measure-all (classical bit ``i`` ← qubit ``i``).
+    """
+    simulator = StatevectorSimulator()
+    if state is None:
+        state = simulator.run(circuit.without_measurements())
+    amplitudes = np.abs(np.asarray(state)) ** 2
+    mapping = _measurement_map(circuit)
+    if not mapping:
+        mapping = {q: q for q in range(circuit.num_qubits)}
+    width = max(mapping) + 1
+    outcome: dict[str, float] = {}
+    for basis_index, probability in enumerate(amplitudes):
+        if probability == 0.0:
+            continue
+        bits = 0
+        for cbit, qubit in mapping.items():
+            if (basis_index >> qubit) & 1:
+                bits |= 1 << cbit
+        key = _format_bits(bits, width)
+        outcome[key] = outcome.get(key, 0.0) + float(probability)
+    return outcome
+
+
+def sample_counts(circuit: Circuit, shots: int = 1024,
+                  seed: int | None = None) -> Counter:
+    """Sample ``shots`` measurement outcomes from the ideal final state."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    probabilities = probabilities_over_cbits(circuit)
+    keys = sorted(probabilities)
+    weights = np.array([probabilities[k] for k in keys])
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    draws = rng.multinomial(shots, weights)
+    return Counter({key: int(count) for key, count in zip(keys, draws) if count})
+
+
+def counts_from_density(rho: np.ndarray, num_qubits: int, shots: int = 0,
+                        seed: int | None = None) -> dict[str, float] | Counter:
+    """Outcome distribution of a density matrix (all qubits measured).
+
+    With ``shots == 0`` the exact probabilities are returned; otherwise a
+    multinomial sample of that distribution.
+    """
+    probabilities = np.real(np.diag(rho)).clip(min=0.0)
+    probabilities = probabilities / probabilities.sum()
+    keys = [_format_bits(i, num_qubits) for i in range(len(probabilities))]
+    if shots <= 0:
+        return {key: float(p) for key, p in zip(keys, probabilities) if p > 0}
+    rng = np.random.default_rng(seed)
+    draws = rng.multinomial(shots, probabilities)
+    return Counter({key: int(count) for key, count in zip(keys, draws) if count})
+
+
+def _normalise(counts: Mapping[str, float]) -> dict[str, float]:
+    total = float(sum(counts.values()))
+    if total <= 0:
+        raise ValueError("counts must contain at least one shot")
+    return {key: value / total for key, value in counts.items()}
+
+
+def hellinger_fidelity(counts_a: Mapping[str, float],
+                       counts_b: Mapping[str, float]) -> float:
+    """``(Σ sqrt(p_i q_i))^2`` — 1.0 for identical distributions, 0.0 for disjoint."""
+    p = _normalise(counts_a)
+    q = _normalise(counts_b)
+    overlap = sum(math.sqrt(p.get(key, 0.0) * q.get(key, 0.0))
+                  for key in set(p) | set(q))
+    return overlap ** 2
+
+
+def total_variation_distance(counts_a: Mapping[str, float],
+                             counts_b: Mapping[str, float]) -> float:
+    """``0.5 Σ |p_i − q_i|`` — 0.0 for identical distributions, 1.0 for disjoint."""
+    p = _normalise(counts_a)
+    q = _normalise(counts_b)
+    return 0.5 * sum(abs(p.get(key, 0.0) - q.get(key, 0.0))
+                     for key in set(p) | set(q))

@@ -1,0 +1,195 @@
+"""ASAP scheduling under a gate duration map → weighted circuit depth.
+
+The "real execution time of the circuit is associated with the weighted
+depth, in which different gates have different duration weights" (Section I).
+This module turns a gate sequence into a timed schedule: every gate starts as
+soon as all of its qubits are free and occupies them for its duration.  The
+*makespan* (finish time of the last gate) is the weighted depth, the metric
+both Fig. 8 and the examples report.
+
+The scheduler treats each qubit as a serial resource and gates as
+non-preemptible — exactly the same execution model as CODAR's qubit locks, so
+a schedule replays what the hardware (or the OriginQ virtual machine) would
+do with the routed gate stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+
+
+@dataclass(frozen=True)
+class ScheduledGate:
+    """One gate with its start and finish times (in cycles)."""
+
+    gate: Gate
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class Schedule:
+    """A timed gate sequence."""
+
+    gates: list[ScheduledGate]
+    makespan: float
+    num_qubits: int
+
+    def busy_time(self, qubit: int) -> float:
+        """Total time ``qubit`` spends inside gates."""
+        return sum(sg.duration for sg in self.gates if qubit in sg.gate.qubits)
+
+    def idle_time(self, qubit: int) -> float:
+        """Time ``qubit`` spends idle between t=0 and the makespan."""
+        return self.makespan - self.busy_time(qubit)
+
+    def parallelism(self) -> float:
+        """Average number of simultaneously busy qubits (gate-time / makespan)."""
+        if self.makespan == 0:
+            return 0.0
+        total = sum(sg.duration * len(sg.gate.qubits) for sg in self.gates)
+        return total / self.makespan
+
+    def gates_at(self, time: float) -> list[ScheduledGate]:
+        """Gates executing at a given instant (start inclusive, finish exclusive)."""
+        return [sg for sg in self.gates if sg.start <= time < sg.finish]
+
+    def as_rows(self) -> list[dict]:
+        """Flat dict rows for reporting."""
+        return [
+            {"gate": sg.gate.name, "qubits": sg.gate.qubits,
+             "start": sg.start, "finish": sg.finish}
+            for sg in self.gates
+        ]
+
+
+def _duration_lookup(durations) -> "callable":
+    """Accept either a GateDurationMap or a plain name→duration mapping."""
+    if hasattr(durations, "duration_of"):
+        return durations.duration_of
+    if isinstance(durations, Mapping):
+        def lookup(gate: Gate | str) -> float:
+            name = gate if isinstance(gate, str) else gate.name
+            if name in durations:
+                return durations[name]
+            if name in ("barrier",):
+                return 0.0
+            raise KeyError(f"no duration for gate {name!r}")
+        return lookup
+    raise TypeError("durations must be a GateDurationMap or a mapping")
+
+
+def asap_schedule(circuit: Circuit | Sequence[Gate], durations) -> Schedule:
+    """Schedule gates as soon as possible and return the timed sequence.
+
+    ``circuit`` may be a :class:`Circuit` or a plain gate sequence; in the
+    latter case the number of qubits is inferred.  Barriers synchronise all of
+    their qubits (or every qubit seen so far for a bare barrier) at zero cost.
+    """
+    lookup = _duration_lookup(durations)
+    if isinstance(circuit, Circuit):
+        gates: Iterable[Gate] = circuit.gates
+        num_qubits = circuit.num_qubits
+    else:
+        gates = list(circuit)
+        num_qubits = 1 + max((max(g.qubits) for g in gates if g.qubits), default=-1)
+
+    available = [0.0] * max(num_qubits, 1)
+    scheduled: list[ScheduledGate] = []
+    makespan = 0.0
+    for gate in gates:
+        if gate.is_barrier:
+            qubits = gate.qubits if gate.qubits else tuple(range(num_qubits))
+            sync = max((available[q] for q in qubits), default=0.0)
+            for q in qubits:
+                available[q] = sync
+            scheduled.append(ScheduledGate(gate, sync, sync))
+            continue
+        if not gate.qubits:
+            continue
+        start = max(available[q] for q in gate.qubits)
+        finish = start + lookup(gate)
+        for q in gate.qubits:
+            available[q] = finish
+        scheduled.append(ScheduledGate(gate, start, finish))
+        if finish > makespan:
+            makespan = finish
+    return Schedule(gates=scheduled, makespan=makespan, num_qubits=num_qubits)
+
+
+def alap_schedule(circuit: Circuit | Sequence[Gate], durations) -> Schedule:
+    """Schedule gates as late as possible within the ASAP makespan.
+
+    ALAP keeps the same weighted depth as ASAP but pushes every gate towards
+    the end of the circuit, which minimises the time qubits spend idle *after*
+    their state has been prepared — the schedule shape preferred when
+    dephasing dominates (idle qubits decay).  The experiments use it to show
+    that the weighted-depth metric itself is schedule-invariant while the
+    decoherence exposure is not.
+    """
+    lookup = _duration_lookup(durations)
+    forward = asap_schedule(circuit, durations)
+    makespan = forward.makespan
+    if isinstance(circuit, Circuit):
+        gates: list[Gate] = list(circuit.gates)
+        num_qubits = circuit.num_qubits
+    else:
+        gates = list(circuit)
+        num_qubits = 1 + max((max(g.qubits) for g in gates if g.qubits), default=-1)
+
+    # Walk the gates backwards: each gate finishes as late as its qubits allow.
+    deadline = [makespan] * max(num_qubits, 1)
+    reversed_schedule: list[ScheduledGate] = []
+    for gate in reversed(gates):
+        if gate.is_barrier:
+            qubits = gate.qubits if gate.qubits else tuple(range(num_qubits))
+            sync = min((deadline[q] for q in qubits), default=makespan)
+            for q in qubits:
+                deadline[q] = sync
+            reversed_schedule.append(ScheduledGate(gate, sync, sync))
+            continue
+        if not gate.qubits:
+            continue
+        finish = min(deadline[q] for q in gate.qubits)
+        start = finish - lookup(gate)
+        for q in gate.qubits:
+            deadline[q] = start
+        reversed_schedule.append(ScheduledGate(gate, start, finish))
+    scheduled = list(reversed(reversed_schedule))
+    return Schedule(gates=scheduled, makespan=makespan, num_qubits=num_qubits)
+
+
+def weighted_depth(circuit: Circuit | Sequence[Gate], durations) -> float:
+    """Shorthand for ``asap_schedule(circuit, durations).makespan``."""
+    return asap_schedule(circuit, durations).makespan
+
+
+def critical_path(schedule: Schedule) -> list[ScheduledGate]:
+    """One chain of gates realising the makespan (for reports and debugging)."""
+    if not schedule.gates:
+        return []
+    # Walk backwards from a gate finishing at the makespan, each time jumping
+    # to a predecessor on one of its qubits that finishes exactly at our start.
+    by_finish: dict[float, list[ScheduledGate]] = {}
+    for sg in schedule.gates:
+        by_finish.setdefault(sg.finish, []).append(sg)
+    current = max(schedule.gates, key=lambda sg: sg.finish)
+    chain = [current]
+    while current.start > 0:
+        predecessors = [
+            sg for sg in by_finish.get(current.start, [])
+            if set(sg.gate.qubits) & set(current.gate.qubits)
+        ]
+        if not predecessors:
+            break
+        current = predecessors[0]
+        chain.append(current)
+    return list(reversed(chain))

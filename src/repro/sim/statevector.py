@@ -1,0 +1,124 @@
+"""Ideal state-vector simulation.
+
+Used for three things:
+
+* routing verification (original vs. routed circuit on random product states),
+* the noiseless reference states of the fidelity experiment (Fig. 9), and
+* unit tests of the gate library itself.
+
+The simulator applies gates in place on a ``2**n`` complex vector with a
+little-endian qubit convention (qubit 0 = least-significant bit), matching
+:mod:`repro.core.unitary`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.unitary import gate_unitary
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """|0...0> on ``num_qubits`` qubits."""
+    state = np.zeros(1 << num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def random_product_state(num_qubits: int, rng: np.random.Generator | None = None
+                         ) -> np.ndarray:
+    """A Haar-random single-qubit product state (cheap, well-spread test input)."""
+    rng = rng or np.random.default_rng()
+    state = np.array([1.0], dtype=complex)
+    for _ in range(num_qubits):
+        amplitudes = rng.normal(size=2) + 1j * rng.normal(size=2)
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = np.kron(amplitudes, state)
+    return state
+
+
+def _apply_single(state: np.ndarray, matrix: np.ndarray, qubit: int,
+                  num_qubits: int) -> np.ndarray:
+    """Apply a 2x2 unitary to ``qubit`` of ``state`` (little-endian)."""
+    full = state.reshape([2] * num_qubits)
+    # Axis ordering of reshape is big-endian: axis 0 corresponds to the most
+    # significant qubit (num_qubits - 1).
+    axis = num_qubits - 1 - qubit
+    moved = np.moveaxis(full, axis, 0)
+    reshaped = moved.reshape(2, -1)
+    updated = matrix @ reshaped
+    return np.moveaxis(updated.reshape(moved.shape), 0, axis).reshape(-1)
+
+
+def _apply_two(state: np.ndarray, matrix: np.ndarray, qubits: tuple[int, int],
+               num_qubits: int) -> np.ndarray:
+    """Apply a 4x4 unitary on ``qubits = (q0, q1)`` where q0 is the low bit."""
+    q0, q1 = qubits
+    full = state.reshape([2] * num_qubits)
+    axis0 = num_qubits - 1 - q0
+    axis1 = num_qubits - 1 - q1
+    moved = np.moveaxis(full, (axis0, axis1), (0, 1))
+    # Index (b0, b1) corresponds to matrix basis index b0 + 2*b1 (little-endian
+    # within the gate's own qubit list).
+    reshaped = moved.reshape(4, -1)
+    # moved index = b0*2 + b1 as flattened with axis0 outermost; build an
+    # explicit permutation to the gate's basis ordering.
+    perm = np.array([0, 2, 1, 3])  # moved-flat index -> gate basis index
+    gate_ordered = reshaped[np.argsort(perm)]
+    updated = matrix @ gate_ordered
+    back = updated[perm]
+    result = back.reshape(moved.shape)
+    return np.moveaxis(result, (0, 1), (axis0, axis1)).reshape(-1)
+
+
+class StatevectorSimulator:
+    """Exact pure-state simulator for circuits of up to ~20 qubits."""
+
+    def __init__(self, max_qubits: int = 22):
+        self.max_qubits = max_qubits
+
+    def run(self, circuit: Circuit, initial_state: np.ndarray | None = None
+            ) -> np.ndarray:
+        """Propagate ``initial_state`` (default |0...0>) through the circuit."""
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise ValueError(f"{n} qubits exceeds the simulator limit of "
+                             f"{self.max_qubits}")
+        state = zero_state(n) if initial_state is None else np.asarray(
+            initial_state, dtype=complex)
+        if state.shape != (1 << n,):
+            raise ValueError("initial state has the wrong dimension")
+        for gate in circuit.gates:
+            state = self.apply_gate(state, gate, n)
+        return state
+
+    @staticmethod
+    def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+        """Apply one gate (measurements and barriers are ignored)."""
+        if gate.is_measure or gate.is_barrier or gate.name == "reset":
+            return state
+        matrix = gate_unitary(gate)
+        if gate.num_qubits == 1:
+            return _apply_single(state, matrix, gate.qubits[0], num_qubits)
+        if gate.num_qubits == 2:
+            return _apply_two(state, matrix, (gate.qubits[0], gate.qubits[1]),
+                              num_qubits)
+        raise ValueError(f"cannot apply {gate.num_qubits}-qubit gate {gate.name!r}")
+
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Measurement probabilities of the final state in the computational basis."""
+        state = self.run(circuit)
+        return np.abs(state) ** 2
+
+    def expectation_z(self, circuit: Circuit, qubit: int) -> float:
+        """<Z> on one qubit of the final state."""
+        probabilities = self.probabilities(circuit)
+        signs = np.where((np.arange(probabilities.size) >> qubit) & 1, -1.0, 1.0)
+        return float(np.sum(signs * probabilities))
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """|<a|b>|^2 for two pure states."""
+    return float(abs(np.vdot(state_a, state_b)) ** 2)

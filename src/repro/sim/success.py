@@ -1,0 +1,173 @@
+"""Estimated success probability (ESP) of a routed, scheduled circuit.
+
+Fig. 9 measures fidelity with a full density-matrix simulation, which caps the
+device size at ~10 qubits.  For the larger Fig. 8 architectures a standard
+analytic proxy is the *estimated success probability*:
+
+``ESP = Π_gates F(gate) × Π_qubits exp(-T_busy/T1' ) × exp(-T_idle/T2')``
+
+* every gate contributes its calibrated fidelity (single-qubit, two-qubit or
+  readout, from :class:`repro.arch.calibration.DeviceCalibration`; an inserted
+  SWAP counts as three two-qubit gates), and
+* every qubit contributes a decoherence factor for the time it spends idle
+  (dephasing, T2) and busy (relaxation, T1) until its last gate finishes.
+
+The metric is monotone in both the gate count and the schedule length, so it
+captures the trade-off the paper's Section V-B discusses: CODAR may insert
+more SWAPs than SABRE (hurting the gate-fidelity product) but finishes sooner
+(helping the decoherence factor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.calibration import DeviceCalibration
+from repro.core.circuit import Circuit
+from repro.sim.scheduler import Schedule, asap_schedule
+
+
+@dataclass(frozen=True)
+class SuccessEstimate:
+    """Breakdown of an ESP computation."""
+
+    gate_fidelity_product: float
+    decoherence_factor: float
+    readout_factor: float
+    num_one_qubit_gates: int
+    num_two_qubit_gates: int
+    num_measurements: int
+    makespan_cycles: float
+
+    @property
+    def probability(self) -> float:
+        """The combined estimated success probability in ``[0, 1]``."""
+        return self.gate_fidelity_product * self.decoherence_factor * self.readout_factor
+
+    def as_row(self) -> dict:
+        return {
+            "esp": self.probability,
+            "gate_product": self.gate_fidelity_product,
+            "decoherence": self.decoherence_factor,
+            "readout": self.readout_factor,
+            "1q_gates": self.num_one_qubit_gates,
+            "2q_gates": self.num_two_qubit_gates,
+            "makespan": self.makespan_cycles,
+        }
+
+
+def _cycle_time_ns(calibration: DeviceCalibration) -> float:
+    """Physical duration of one scheduler cycle, from the calibration column.
+
+    The duration maps express every gate in multiples of the single-qubit gate
+    time, so one cycle corresponds to the calibrated single-qubit duration.
+    A missing value falls back to 100 ns (a typical superconducting 1q gate).
+    """
+    return calibration.duration_1q_ns or 100.0
+
+
+def estimate_success(circuit: Circuit, calibration: DeviceCalibration,
+                     durations=None, schedule: Schedule | None = None
+                     ) -> SuccessEstimate:
+    """Estimate the success probability of ``circuit`` on a calibrated device.
+
+    Parameters
+    ----------
+    circuit:
+        A routed (physical) circuit.  SWAPs are costed as three two-qubit
+        gates; barriers are free.
+    calibration:
+        The Table I column supplying gate fidelities and T1/T2.
+    durations:
+        Duration map used to schedule the circuit when ``schedule`` is not
+        supplied; defaults to the calibration's own
+        :meth:`~repro.arch.calibration.DeviceCalibration.duration_map`.
+    schedule:
+        Pre-computed schedule of exactly this circuit (avoids re-scheduling
+        when the caller already has one).
+    """
+    durations = durations if durations is not None else calibration.duration_map()
+    if schedule is None:
+        schedule = asap_schedule(circuit, durations)
+
+    fidelity_1q = calibration.fidelity_1q if calibration.fidelity_1q is not None else 1.0
+    fidelity_2q = calibration.fidelity_2q if calibration.fidelity_2q is not None else 1.0
+    readout = (calibration.readout_fidelity
+               if calibration.readout_fidelity is not None else 1.0)
+
+    gate_product = 1.0
+    readout_factor = 1.0
+    ones = twos = measures = 0
+    for gate in circuit.gates:
+        if gate.is_barrier or gate.is_directive:
+            continue
+        if gate.is_measure:
+            measures += 1
+            readout_factor *= readout
+        elif gate.is_swap:
+            twos += 3
+            gate_product *= fidelity_2q ** 3
+        elif gate.num_qubits == 2:
+            twos += 1
+            gate_product *= fidelity_2q
+        elif gate.num_qubits == 1:
+            ones += 1
+            gate_product *= fidelity_1q
+
+    decoherence = _decoherence_factor(circuit, schedule, calibration)
+    return SuccessEstimate(
+        gate_fidelity_product=gate_product,
+        decoherence_factor=decoherence,
+        readout_factor=readout_factor,
+        num_one_qubit_gates=ones,
+        num_two_qubit_gates=twos,
+        num_measurements=measures,
+        makespan_cycles=schedule.makespan,
+    )
+
+
+def _decoherence_factor(circuit: Circuit, schedule: Schedule,
+                        calibration: DeviceCalibration) -> float:
+    """Per-qubit T1/T2 survival probability over the scheduled lifetime.
+
+    A qubit's lifetime runs from time 0 to the finish of its last gate (after
+    that it is measured or ignored and further decay does not matter).  Busy
+    time decays with T1, idle time with T2; an unknown or infinite time
+    constant contributes no decay.
+    """
+    cycle_ns = _cycle_time_ns(calibration)
+    t1 = calibration.t1_ns
+    t2 = calibration.t2_ns
+    last_finish = [0.0] * max(schedule.num_qubits, 1)
+    busy = [0.0] * max(schedule.num_qubits, 1)
+    for scheduled in schedule.gates:
+        for qubit in scheduled.gate.qubits:
+            busy[qubit] += scheduled.duration
+            last_finish[qubit] = max(last_finish[qubit], scheduled.finish)
+
+    factor = 1.0
+    for qubit in circuit.used_qubits():
+        lifetime = last_finish[qubit]
+        idle = max(0.0, lifetime - busy[qubit])
+        if t1 is not None and not math.isinf(t1) and t1 > 0:
+            factor *= math.exp(-(busy[qubit] * cycle_ns) / t1)
+        if t2 is not None and not math.isinf(t2) and t2 > 0:
+            factor *= math.exp(-(idle * cycle_ns) / t2)
+    return factor
+
+
+def compare_success(results, calibration: DeviceCalibration) -> list[dict]:
+    """ESP rows for several routing results (convenience for reports).
+
+    ``results`` is an iterable of :class:`repro.mapping.base.RoutingResult`;
+    each row carries the router name so tables can be printed directly.
+    """
+    rows = []
+    for result in results:
+        estimate = estimate_success(result.routed, calibration,
+                                    durations=result.device.durations)
+        row = {"router": result.router_name, "circuit": result.original.name}
+        row.update(estimate.as_row())
+        rows.append(row)
+    return rows

@@ -1,0 +1,100 @@
+"""Plain-text visualisation helpers: circuit diagrams and schedule timelines.
+
+No plotting dependency is available offline, so the library ships ASCII
+renderers good enough for debugging routing decisions and for the examples'
+output: a wire-per-qubit circuit drawing and a Gantt-style timeline of an ASAP
+schedule (which makes the weighted-depth argument of the paper visible at a
+glance — long CX/SWAP boxes vs short single-qubit boxes).
+"""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.sim.scheduler import Schedule
+
+
+def draw_circuit(circuit: Circuit, max_columns: int = 120) -> str:
+    """Render a circuit as one text wire per qubit.
+
+    Single-qubit gates print their (upper-cased) name on the wire; two-qubit
+    gates print ``*`` on the first operand and the name on the second, with
+    ``|`` filler on wires in between so the column reads as one vertical
+    connection.  The output is truncated at ``max_columns`` characters per
+    wire (an ellipsis marks truncation) because routed benchmark circuits can
+    be thousands of gates long.
+    """
+    if circuit.num_qubits == 0:
+        return "(empty circuit)"
+    wires: list[list[str]] = [[] for _ in range(circuit.num_qubits)]
+
+    def pad_to_same_length() -> None:
+        width = max(len(w) for w in wires)
+        for wire in wires:
+            while len(wire) < width:
+                wire.append("-")
+
+    for gate in circuit.gates:
+        if gate.is_barrier:
+            pad_to_same_length()
+            for wire in wires:
+                wire.append("‖")
+            continue
+        label = gate.name.upper()
+        if gate.is_measure:
+            label = "M"
+        if gate.num_qubits == 1:
+            wires[gate.qubits[0]].append(label)
+            continue
+        # Two-qubit gate: align the involved wires to the same column first.
+        pad_to_same_length()
+        first, second = gate.qubits
+        low, high = min(first, second), max(first, second)
+        for qubit in range(circuit.num_qubits):
+            if qubit == first:
+                wires[qubit].append("*")
+            elif qubit == second:
+                wires[qubit].append(label)
+            elif low < qubit < high:
+                wires[qubit].append("|")
+            else:
+                wires[qubit].append("-")
+    pad_to_same_length()
+
+    lines = []
+    for index, wire in enumerate(wires):
+        body = "-".join(cell.center(3, "-") for cell in wire)
+        if len(body) > max_columns:
+            body = body[: max_columns - 3] + "..."
+        lines.append(f"q{index:<3d}: {body}")
+    return "\n".join(lines)
+
+
+def draw_schedule(schedule: Schedule, cycles_per_char: float = 1.0,
+                  max_columns: int = 120) -> str:
+    """Render an ASAP schedule as a Gantt-style timeline, one row per qubit.
+
+    Each gate occupies ``duration / cycles_per_char`` characters filled with
+    the first letter of its name; idle time is ``.``.  The footer shows the
+    makespan, which is exactly the weighted depth the paper reports.
+    """
+    if not schedule.gates:
+        return "(empty schedule)"
+    width = int(schedule.makespan / cycles_per_char) + 1
+    rows = [["."] * min(width, max_columns) for _ in range(schedule.num_qubits)]
+    truncated = width > max_columns
+    for scheduled in schedule.gates:
+        gate = scheduled.gate
+        if gate.is_barrier or not gate.qubits:
+            continue
+        start = int(scheduled.start / cycles_per_char)
+        finish = max(start + 1, int(scheduled.finish / cycles_per_char))
+        symbol = gate.name[0].upper()
+        for qubit in gate.qubits:
+            for column in range(start, min(finish, max_columns)):
+                rows[qubit][column] = symbol
+    lines = [f"q{index:<3d}: {''.join(row)}" for index, row in enumerate(rows)]
+    footer = f"makespan = {schedule.makespan} cycles"
+    if truncated:
+        footer += f" (timeline truncated to {max_columns} characters)"
+    lines.append(footer)
+    return "\n".join(lines)

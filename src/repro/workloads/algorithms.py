@@ -1,0 +1,241 @@
+"""Additional algorithm workloads beyond the core paper suite.
+
+The 71-entry suite in :mod:`repro.workloads.suite` mirrors the paper's
+benchmark collection; this module adds the algorithm families commonly used
+by follow-up qubit-mapping studies (phase estimation, W states, quantum-volume
+model circuits, variational ansätze, hidden-shift) so the extended experiments
+— duration sensitivity, noise-aware routing, scaling — have a broader and
+structurally different workload pool to draw from.
+
+Every generator is deterministic given its arguments and returns a logical
+:class:`~repro.core.circuit.Circuit`, exactly like
+:mod:`repro.workloads.generators`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.circuit import Circuit
+from repro.workloads.generators import qft
+
+
+def quantum_phase_estimation(counting_qubits: int, name: str | None = None) -> Circuit:
+    """Quantum phase estimation of a ``u1`` phase on one target qubit.
+
+    ``counting_qubits`` qubits form the counting register; qubit
+    ``counting_qubits`` is the eigenstate target.  The circuit applies the
+    controlled powers of ``U = u1(2π·θ)`` with ``θ = 1/3`` followed by the
+    inverse QFT on the counting register — the canonical structure (long-range
+    controlled gates fanning into one target) that stresses routers very
+    differently from nearest-neighbour workloads.
+
+    The estimate is read **big-endian**: counting qubit 0 is the most
+    significant bit of ``round(θ · 2^m)`` (the convention induced by the
+    swap-free QFT of :func:`repro.workloads.generators.qft`).
+    """
+    if counting_qubits < 1:
+        raise ValueError("QPE needs at least one counting qubit")
+    total = counting_qubits + 1
+    target = counting_qubits
+    theta = 1.0 / 3.0
+    circ = Circuit(total, name=name or f"qpe_{total}")
+    circ.x(target)  # prepare the |1> eigenstate of u1
+    for q in range(counting_qubits):
+        circ.h(q)
+    for q in range(counting_qubits):
+        power = 1 << q
+        circ.cu1(2.0 * math.pi * theta * power, q, target)
+    # Exact inverse of the swap-free QFT on the counting register: under that
+    # convention counting qubit q carries phase 2π·x̃/2^(m-q), which is exactly
+    # what the controlled powers above produce for x̃ = θ·2^m.
+    inverse_qft = qft(counting_qubits, with_swaps=False).inverse()
+    for gate in inverse_qft.gates:
+        circ.append(gate)
+    return circ
+
+
+def w_state(num_qubits: int, name: str | None = None) -> Circuit:
+    """W-state preparation via the cascade of controlled rotations.
+
+    The standard construction: a chain of ``cry``-like blocks distributing a
+    single excitation across the register, ending with a CNOT ladder.  Every
+    pair of consecutive qubits interacts, so the circuit is easy on a line but
+    exposes duration effects (long CRY blocks next to short X gates).
+    """
+    if num_qubits < 2:
+        raise ValueError("a W state needs at least 2 qubits")
+    circ = Circuit(num_qubits, name=name or f"wstate_{num_qubits}")
+    circ.x(0)
+    for k in range(1, num_qubits):
+        # Before step k, qubit k-1 holds the excitation destined for qubits
+        # k-1..n-1; it must keep a 1/(remaining+1) share and pass on the rest.
+        remaining = num_qubits - k
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (remaining + 1.0)))
+        # controlled-RY(theta) from qubit k-1 onto k, then CX back.
+        circ.ry(theta / 2.0, k)
+        circ.cx(k - 1, k)
+        circ.ry(-theta / 2.0, k)
+        circ.cx(k - 1, k)
+        circ.cx(k, k - 1)
+    return circ
+
+
+def quantum_volume(num_qubits: int, depth: int | None = None, seed: int = 3,
+                   name: str | None = None) -> Circuit:
+    """Quantum-volume model circuit: layers of random SU(4) blocks on random pairs.
+
+    Each layer permutes the qubits and applies a two-qubit block (decomposed
+    into 3 CX + single-qubit rotations, the standard KAK gate count) to each
+    disjoint pair.  ``depth`` defaults to ``num_qubits`` as in the IBM QV
+    definition.  These circuits maximise routing pressure because the pairing
+    is re-randomised every layer.
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum volume needs at least 2 qubits")
+    depth = depth if depth is not None else num_qubits
+    rng = random.Random(seed)
+    circ = Circuit(num_qubits, name=name or f"qv_{num_qubits}_{depth}")
+    for _ in range(depth):
+        order = list(range(num_qubits))
+        rng.shuffle(order)
+        for i in range(0, num_qubits - 1, 2):
+            _su4_block(circ, order[i], order[i + 1], rng)
+    return circ
+
+
+def _su4_block(circ: Circuit, a: int, b: int, rng: random.Random) -> None:
+    """A Haar-ish SU(4) block in the standard 3-CX KAK template."""
+    def random_u3(q: int) -> None:
+        circ.u3(rng.uniform(0, math.pi), rng.uniform(0, 2 * math.pi),
+                rng.uniform(0, 2 * math.pi), q)
+
+    random_u3(a)
+    random_u3(b)
+    circ.cx(a, b)
+    circ.rz(rng.uniform(0, 2 * math.pi), b)
+    circ.ry(rng.uniform(0, math.pi), a)
+    circ.cx(b, a)
+    circ.ry(rng.uniform(0, math.pi), a)
+    circ.cx(a, b)
+    random_u3(a)
+    random_u3(b)
+
+
+def vqe_ansatz(num_qubits: int, layers: int = 2, entangler: str = "linear",
+               seed: int = 5, name: str | None = None) -> Circuit:
+    """Hardware-efficient VQE ansatz: RY/RZ layers + CX entangler blocks.
+
+    ``entangler`` is ``"linear"`` (chain of CX, NISQ-friendly) or ``"full"``
+    (all-to-all CX, the routing-hostile variant used to stress mappers).
+    """
+    if num_qubits < 2:
+        raise ValueError("the ansatz needs at least 2 qubits")
+    if entangler not in ("linear", "full"):
+        raise ValueError("entangler must be 'linear' or 'full'")
+    rng = random.Random(seed)
+    circ = Circuit(num_qubits, name=name or f"vqe_{num_qubits}_{entangler}_l{layers}")
+    for _ in range(layers):
+        for q in range(num_qubits):
+            circ.ry(rng.uniform(0, math.pi), q)
+            circ.rz(rng.uniform(0, 2 * math.pi), q)
+        if entangler == "linear":
+            for q in range(num_qubits - 1):
+                circ.cx(q, q + 1)
+        else:
+            for a in range(num_qubits):
+                for b in range(a + 1, num_qubits):
+                    circ.cx(a, b)
+    for q in range(num_qubits):
+        circ.ry(rng.uniform(0, math.pi), q)
+    return circ
+
+
+def hidden_shift(num_qubits: int, shift: int | None = None,
+                 name: str | None = None) -> Circuit:
+    """Hidden-shift circuit for a bent (Maiorana–McFarland) function.
+
+    ``num_qubits`` must be even.  The circuit is Clifford + T dominated
+    (H layers, CZ oracle, X shift), which mirrors the RevLib-style reversible
+    workloads while keeping a regular structure.
+    """
+    if num_qubits < 2 or num_qubits % 2:
+        raise ValueError("hidden shift needs an even number of qubits >= 2")
+    if shift is None:
+        shift = (1 << num_qubits) - 1
+    half = num_qubits // 2
+    circ = Circuit(num_qubits, name=name or f"hidden_shift_{num_qubits}")
+
+    def oracle() -> None:
+        for q in range(half):
+            circ.cz(q, half + q)
+
+    for q in range(num_qubits):
+        circ.h(q)
+    for q in range(num_qubits):
+        if (shift >> q) & 1:
+            circ.x(q)
+    oracle()
+    for q in range(num_qubits):
+        if (shift >> q) & 1:
+            circ.x(q)
+    for q in range(num_qubits):
+        circ.h(q)
+    oracle()
+    for q in range(num_qubits):
+        circ.h(q)
+    return circ
+
+
+def qft_adder(num_bits: int, addend: int = 1, name: str | None = None) -> Circuit:
+    """Draper QFT adder: add the classical constant ``addend`` to a register.
+
+    QFT → phase rotations → inverse QFT; a structured, phase-gate-heavy
+    workload with the long-range interaction pattern of the QFT but twice the
+    depth.
+
+    The register is read **big-endian** (qubit 0 is the most significant bit),
+    the convention induced by the swap-free QFT: under it, qubit ``q`` carries
+    the Fourier phase ``2π·x/2^(n-q)``, so adding the constant is the product
+    of single-qubit ``u1`` rotations below.  Addition is modulo ``2^n``.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    circ = Circuit(num_bits, name=name or f"qft_adder_{num_bits}")
+    forward = qft(num_bits, with_swaps=False)
+    for gate in forward.gates:
+        circ.append(gate)
+    for q in range(num_bits):
+        modulus = 1 << (num_bits - q)
+        angle = 2.0 * math.pi * (addend % modulus) / modulus
+        if angle:
+            circ.u1(angle, q)
+    for gate in forward.inverse().gates:
+        circ.append(gate)
+    return circ
+
+
+#: Registry of the extended algorithm families, keyed by a short name; each
+#: value is ``(builder, default kwargs)``.  Used by the extended experiments
+#: and by :func:`extended_workloads`.
+EXTENDED_FAMILIES = {
+    "qpe": (quantum_phase_estimation, {"counting_qubits": 5}),
+    "w_state": (w_state, {"num_qubits": 8}),
+    "quantum_volume": (quantum_volume, {"num_qubits": 8}),
+    "vqe_linear": (vqe_ansatz, {"num_qubits": 8, "entangler": "linear"}),
+    "vqe_full": (vqe_ansatz, {"num_qubits": 6, "entangler": "full"}),
+    "hidden_shift": (hidden_shift, {"num_qubits": 10}),
+    "qft_adder": (qft_adder, {"num_bits": 6}),
+}
+
+
+def extended_workloads(max_qubits: int | None = None) -> list[Circuit]:
+    """Build one representative circuit per extended family."""
+    circuits = []
+    for key, (builder, kwargs) in EXTENDED_FAMILIES.items():
+        circuit = builder(**kwargs)
+        if max_qubits is not None and circuit.num_qubits > max_qubits:
+            continue
+        circuits.append(circuit)
+    return circuits

@@ -1,0 +1,336 @@
+"""Parametric quantum-circuit families used as benchmark workloads.
+
+Every generator returns a plain :class:`~repro.core.circuit.Circuit` on
+logical qubits; routing is the caller's job.  The families are the ones the
+paper's benchmark collection draws from (QFT and other textbook algorithms as
+compiled by ScaffCC / Qiskit, plus randomised circuits spanning the same size
+range).  All generators are deterministic given their arguments (random
+families take an explicit ``seed``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.core.circuit import Circuit
+
+
+# --------------------------------------------------------------------------- #
+# Textbook algorithms
+# --------------------------------------------------------------------------- #
+def qft(num_qubits: int, with_swaps: bool = True, name: str | None = None) -> Circuit:
+    """Quantum Fourier Transform on ``num_qubits`` qubits.
+
+    The standard H + controlled-phase ladder; the optional final SWAP network
+    reverses the qubit order (ScaffCC emits it, and it stresses the router).
+    """
+    circ = Circuit(num_qubits, name=name or f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circ.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circ.cu1(2.0 * math.pi / (1 << offset), control, target)
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            circ.swap(q, num_qubits - 1 - q)
+    return circ
+
+
+def ghz(num_qubits: int, name: str | None = None) -> Circuit:
+    """GHZ state preparation: H on qubit 0 followed by a CNOT chain."""
+    circ = Circuit(num_qubits, name=name or f"ghz_{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ
+
+
+def bernstein_vazirani(num_qubits: int, secret: int | None = None,
+                       name: str | None = None) -> Circuit:
+    """Bernstein–Vazirani with a hidden bit-string ``secret`` on ``num_qubits - 1`` data qubits."""
+    if num_qubits < 2:
+        raise ValueError("Bernstein-Vazirani needs at least 2 qubits")
+    data = num_qubits - 1
+    if secret is None:
+        secret = (1 << data) - 1  # all-ones string: densest oracle
+    circ = Circuit(num_qubits, name=name or f"bv_{num_qubits}")
+    ancilla = num_qubits - 1
+    circ.x(ancilla)
+    for q in range(data):
+        circ.h(q)
+    circ.h(ancilla)
+    for q in range(data):
+        if (secret >> q) & 1:
+            circ.cx(q, ancilla)
+    for q in range(data):
+        circ.h(q)
+    return circ
+
+
+def deutsch_jozsa(num_qubits: int, balanced: bool = True,
+                  name: str | None = None) -> Circuit:
+    """Deutsch–Jozsa with a balanced (CNOT-fan-in) or constant oracle."""
+    if num_qubits < 2:
+        raise ValueError("Deutsch-Jozsa needs at least 2 qubits")
+    circ = Circuit(num_qubits, name=name or f"dj_{num_qubits}")
+    ancilla = num_qubits - 1
+    circ.x(ancilla)
+    for q in range(num_qubits):
+        circ.h(q)
+    if balanced:
+        for q in range(num_qubits - 1):
+            circ.cx(q, ancilla)
+    else:
+        circ.z(ancilla)
+    for q in range(num_qubits - 1):
+        circ.h(q)
+    return circ
+
+
+def grover(num_qubits: int, iterations: int | None = None, marked: int = 0,
+           name: str | None = None) -> Circuit:
+    """Grover search over ``num_qubits`` data qubits with a phase oracle.
+
+    The multi-controlled Z of the oracle and the diffuser are decomposed into
+    Toffoli ladders using ``num_qubits - 2`` borrowed ancillae when available,
+    otherwise the textbook recursive decomposition via ``ccx``.
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least 2 qubits")
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4.0 * math.sqrt(1 << num_qubits) / 2)))
+    circ = Circuit(num_qubits, name=name or f"grover_{num_qubits}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for _ in range(iterations):
+        _phase_flip(circ, list(range(num_qubits)), marked)
+        for q in range(num_qubits):
+            circ.h(q)
+            circ.x(q)
+        _controlled_z_all(circ, list(range(num_qubits)))
+        for q in range(num_qubits):
+            circ.x(q)
+            circ.h(q)
+    return circ
+
+
+def _phase_flip(circ: Circuit, qubits: Sequence[int], marked: int) -> None:
+    """Flip the phase of the computational-basis state ``marked``."""
+    for position, q in enumerate(qubits):
+        if not (marked >> position) & 1:
+            circ.x(q)
+    _controlled_z_all(circ, qubits)
+    for position, q in enumerate(qubits):
+        if not (marked >> position) & 1:
+            circ.x(q)
+
+
+def _controlled_z_all(circ: Circuit, qubits: Sequence[int]) -> None:
+    """Multi-controlled Z on all ``qubits`` via a CCX ladder."""
+    if len(qubits) == 1:
+        circ.z(qubits[0])
+        return
+    if len(qubits) == 2:
+        circ.cz(qubits[0], qubits[1])
+        return
+    target = qubits[-1]
+    circ.h(target)
+    _multi_controlled_x(circ, qubits[:-1], target)
+    circ.h(target)
+
+
+def _controlled_root_x(circ: Circuit, control: int, target: int, root: int,
+                       dagger: bool = False) -> None:
+    """Controlled ``X**(1/root)`` built from a control phase plus a CRX.
+
+    ``X**(1/m) = exp(i*pi/(2m)) * Rx(pi/m)``; when controlled, the global phase
+    becomes a ``u1(pi/(2m))`` on the control qubit.
+    """
+    sign = -1.0 if dagger else 1.0
+    circ.u1(sign * math.pi / (2.0 * root), control)
+    circ.add("crx", [control, target], [sign * math.pi / root])
+
+
+def _multi_controlled_x(circ: Circuit, controls: Sequence[int], target: int,
+                        root: int = 1) -> None:
+    """Exact multi-controlled ``X**(1/root)`` via the Barenco recursion.
+
+    No ancilla is used; the construction is exponential in the number of
+    controls, which matches the gate blow-up real compilers exhibit on these
+    oracles and provides realistic routing pressure.
+    """
+    controls = list(controls)
+    if len(controls) == 1:
+        if root == 1:
+            circ.cx(controls[0], target)
+        else:
+            _controlled_root_x(circ, controls[0], target, root)
+        return
+    if len(controls) == 2 and root == 1:
+        circ.ccx(controls[0], controls[1], target)
+        return
+    last = controls[-1]
+    rest = controls[:-1]
+    _controlled_root_x(circ, last, target, 2 * root)
+    _multi_controlled_x(circ, rest, last, 1)
+    _controlled_root_x(circ, last, target, 2 * root, dagger=True)
+    _multi_controlled_x(circ, rest, last, 1)
+    _multi_controlled_x(circ, rest, target, 2 * root)
+
+
+def simon(num_qubits: int, name: str | None = None) -> Circuit:
+    """Simon's algorithm instance with a two-register layout.
+
+    ``num_qubits`` must be even: the first half is the input register, the
+    second half the output register; the oracle implements ``f(x) = x XOR s``
+    copying with a hidden period ``s = 10...0``.
+    """
+    if num_qubits < 4 or num_qubits % 2:
+        raise ValueError("Simon needs an even number of qubits >= 4")
+    half = num_qubits // 2
+    circ = Circuit(num_qubits, name=name or f"simon_{num_qubits}")
+    for q in range(half):
+        circ.h(q)
+    # copy oracle
+    for q in range(half):
+        circ.cx(q, half + q)
+    # fold the hidden period into the output register
+    for q in range(1, half):
+        circ.cx(0, half + q)
+    for q in range(half):
+        circ.h(q)
+    return circ
+
+
+def qaoa_maxcut(num_qubits: int, layers: int = 1, seed: int = 7,
+                edge_probability: float = 0.5, name: str | None = None) -> Circuit:
+    """QAOA MaxCut ansatz on a random Erdős–Rényi graph."""
+    rng = random.Random(seed)
+    edges = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)
+             if rng.random() < edge_probability]
+    if not edges:
+        edges = [(a, a + 1) for a in range(num_qubits - 1)]
+    circ = Circuit(num_qubits, name=name or f"qaoa_{num_qubits}_p{layers}")
+    for q in range(num_qubits):
+        circ.h(q)
+    for layer in range(layers):
+        gamma = 0.4 + 0.1 * layer
+        beta = 0.7 - 0.1 * layer
+        for a, b in edges:
+            circ.cx(a, b)
+            circ.rz(2.0 * gamma, b)
+            circ.cx(a, b)
+        for q in range(num_qubits):
+            circ.rx(2.0 * beta, q)
+    return circ
+
+
+def ripple_carry_adder(num_bits: int, name: str | None = None) -> Circuit:
+    """Cuccaro ripple-carry adder on ``2 * num_bits + 2`` qubits.
+
+    Register layout: carry-in, a[0..n-1], b[0..n-1], carry-out.  This is the
+    adder family (rc_adder_*) that appears in the SABRE benchmark set.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    n = num_bits
+    total = 2 * n + 2
+    circ = Circuit(total, name=name or f"rc_adder_{total}")
+    carry_in = 0
+    a = [1 + i for i in range(n)]
+    b = [1 + n + i for i in range(n)]
+    carry_out = total - 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circ.cx(z, y)
+        circ.cx(z, x)
+        circ.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circ.ccx(x, y, z)
+        circ.cx(z, x)
+        circ.cx(x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    circ.cx(a[n - 1], carry_out)
+    for i in reversed(range(1, n)):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    return circ
+
+
+def toffoli_chain(num_qubits: int, repetitions: int = 1,
+                  name: str | None = None) -> Circuit:
+    """A chain of decomposed Toffolis sweeping across the register."""
+    if num_qubits < 3:
+        raise ValueError("a Toffoli chain needs at least 3 qubits")
+    circ = Circuit(num_qubits, name=name or f"tof_chain_{num_qubits}")
+    for _ in range(repetitions):
+        for q in range(num_qubits - 2):
+            circ.ccx(q, q + 1, q + 2)
+    return circ
+
+
+# --------------------------------------------------------------------------- #
+# Randomised families
+# --------------------------------------------------------------------------- #
+_ONE_QUBIT_POOL = ("h", "x", "t", "tdg", "s", "rz")
+
+
+def random_circuit(num_qubits: int, num_gates: int, seed: int,
+                   two_qubit_fraction: float = 0.4,
+                   name: str | None = None) -> Circuit:
+    """A random circuit with a controlled fraction of CNOTs.
+
+    The interaction pattern is drawn uniformly over qubit pairs, which is the
+    hardest case for a router (no locality to exploit); the paper's RevLib
+    imports behave similarly.
+    """
+    if num_qubits < 2:
+        raise ValueError("random circuits need at least 2 qubits")
+    rng = random.Random(seed)
+    circ = Circuit(num_qubits, name=name or f"random_{num_qubits}_{num_gates}")
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            a, b = rng.sample(range(num_qubits), 2)
+            circ.cx(a, b)
+        else:
+            gate = rng.choice(_ONE_QUBIT_POOL)
+            q = rng.randrange(num_qubits)
+            if gate == "rz":
+                circ.rz(rng.uniform(0, 2 * math.pi), q)
+            else:
+                circ.add(gate, [q])
+    return circ
+
+
+def supremacy_style(rows: int, cols: int, cycles: int, seed: int = 11,
+                    name: str | None = None) -> Circuit:
+    """Random-circuit-sampling style workload on a ``rows x cols`` logical grid.
+
+    Each cycle applies a random single-qubit gate to every qubit followed by a
+    pattern of CZ gates between grid neighbours (alternating orientation),
+    mimicking the structure of the Sycamore supremacy circuits.
+    """
+    num_qubits = rows * cols
+    rng = random.Random(seed)
+    circ = Circuit(num_qubits, name=name or f"supremacy_{rows}x{cols}_{cycles}")
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    for cycle in range(cycles):
+        for q in range(num_qubits):
+            circ.add(rng.choice(("sx", "t", "h")), [q])
+        horizontal = cycle % 2 == 0
+        offset = (cycle // 2) % 2
+        for r in range(rows):
+            for c in range(cols):
+                if horizontal and c + 1 < cols and c % 2 == offset:
+                    circ.cz(index(r, c), index(r, c + 1))
+                if not horizontal and r + 1 < rows and r % 2 == offset:
+                    circ.cz(index(r, c), index(r + 1, c))
+    return circ

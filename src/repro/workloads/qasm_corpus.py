@@ -1,0 +1,167 @@
+"""A small corpus of OpenQASM 2.0 source programs.
+
+The paper's 71 benchmarks are distributed as OpenQASM files (Qiskit examples,
+RevLib exports, ScaffCC/Quipper compilations).  The generated suite in
+:mod:`repro.workloads.suite` reproduces their *structure*; this module keeps a
+handful of real OpenQASM *texts* so that the full text path — lexer, parser,
+gate-definition inlining, register flattening — is exercised by the same kind
+of input the original toolchain consumed.  The programs are small, hand-written
+in the style of the respective sources (custom ``gate`` definitions,
+multi-register declarations, register-wide operations, include directives).
+
+Use :func:`corpus_names` / :func:`load` to get parsed circuits, or
+:data:`CORPUS` for the raw text (e.g. to write fixture files).
+"""
+
+from __future__ import annotations
+
+from repro.core.circuit import Circuit
+from repro.qasm.parser import parse_qasm
+
+#: name -> OpenQASM 2.0 source text.
+CORPUS: dict[str, str] = {
+    # Qiskit-tutorial style: Bell pair with explicit includes and measurement.
+    "bell_measure": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+""",
+    # ScaffCC style: a 4-qubit QFT with explicit controlled-phase ladder.
+    "qft4_scaffcc": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cu1(pi/2) q[1],q[0];
+cu1(pi/4) q[2],q[0];
+cu1(pi/8) q[3],q[0];
+h q[1];
+cu1(pi/2) q[2],q[1];
+cu1(pi/4) q[3],q[1];
+h q[2];
+cu1(pi/2) q[3],q[2];
+h q[3];
+swap q[0],q[3];
+swap q[1],q[2];
+""",
+    # RevLib style: a reversible majority/adder cell using custom gate defs.
+    "revlib_majority": """
+OPENQASM 2.0;
+include "qelib1.inc";
+gate maj a,b,c
+{
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate uma a,b,c
+{
+  ccx a,b,c;
+  cx c,a;
+  cx a,b;
+}
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+qreg cout[1];
+creg ans[3];
+x a[0];
+x b[0];
+x b[1];
+maj cin[0],b[0],a[0];
+maj a[0],b[1],a[1];
+cx a[1],cout[0];
+uma a[0],b[1],a[1];
+uma cin[0],b[0],a[0];
+measure b[0] -> ans[0];
+measure b[1] -> ans[1];
+measure cout[0] -> ans[2];
+""",
+    # Qiskit-examples style: 3-qubit Grover iteration with register-wide ops.
+    "grover3_qiskit": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q;
+x q[0];
+h q[2];
+ccx q[0],q[1],q[2];
+h q[2];
+x q[0];
+h q;
+x q;
+h q[2];
+ccx q[0],q[1],q[2];
+h q[2];
+x q;
+h q;
+measure q -> c;
+""",
+    # Quipper-export style: teleportation with three registers and barriers.
+    "teleport_quipper": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg alice[1];
+qreg channel[1];
+qreg bob[1];
+creg m[2];
+u3(0.3,0.2,0.1) alice[0];
+h channel[0];
+cx channel[0],bob[0];
+barrier alice[0],channel[0],bob[0];
+cx alice[0],channel[0];
+h alice[0];
+barrier alice[0],channel[0],bob[0];
+cx channel[0],bob[0];
+cz alice[0],bob[0];
+measure alice[0] -> m[0];
+measure channel[0] -> m[1];
+""",
+    # SABRE-artifact style: a dense 6-qubit random-ish layer program.
+    "sabre_mix6": """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[6];
+h q[0];
+t q[1];
+cx q[0],q[5];
+cx q[1],q[4];
+rz(0.37) q[2];
+cx q[2],q[3];
+tdg q[5];
+cx q[4],q[0];
+s q[3];
+cx q[5],q[2];
+cx q[3],q[1];
+h q[4];
+cx q[0],q[3];
+cx q[5],q[4];
+measure q -> c;
+""",
+}
+
+
+def corpus_names() -> list[str]:
+    """Names of the corpus programs, sorted."""
+    return sorted(CORPUS)
+
+
+def load(name: str) -> Circuit:
+    """Parse one corpus program into a flat :class:`Circuit`."""
+    if name not in CORPUS:
+        raise KeyError(f"unknown corpus program {name!r}; known: {corpus_names()}")
+    circuit = parse_qasm(CORPUS[name])
+    circuit.name = name
+    return circuit
+
+
+def load_all() -> list[Circuit]:
+    """Parse the whole corpus (used by integration tests and examples)."""
+    return [load(name) for name in corpus_names()]

@@ -1,0 +1,133 @@
+"""RevLib-style reversible-logic workloads.
+
+The RevLib portion of the paper's benchmark collection consists of reversible
+arithmetic and boolean-function circuits (adders, mod-adders, hidden weighted
+bit, graycode...).  The generators here produce the same *kind* of circuits —
+CX/CCX-dominated reversible networks with long dependency chains and wide
+fan-in — programmatically, so the routed-gate pressure matches the originals
+without redistributing RevLib files.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.circuit import Circuit
+
+
+def controlled_increment(num_qubits: int, repetitions: int = 1,
+                         name: str | None = None) -> Circuit:
+    """A controlled ripple increment register (CNOT/CCX staircase).
+
+    Mirrors RevLib counters such as ``0410184`` / ``graycode``: each pass adds
+    one to the register conditioned on the previous bits.
+    """
+    if num_qubits < 2:
+        raise ValueError("the increment needs at least 2 qubits")
+    circ = Circuit(num_qubits, name=name or f"inc_{num_qubits}")
+    for _ in range(repetitions):
+        for high in reversed(range(1, num_qubits)):
+            if high == 1:
+                circ.cx(0, 1)
+            else:
+                # Flip bit `high` when all lower bits are 1 (carry propagation),
+                # approximated with a CCX on the two highest carry bits which
+                # is what the RevLib ESOP synthesis emits per stage.
+                circ.ccx(high - 2, high - 1, high)
+        circ.x(0)
+    return circ
+
+
+def modular_adder(num_bits: int, name: str | None = None) -> Circuit:
+    """A modular adder built from two ripple passes plus correction CNOTs.
+
+    Register layout mirrors the RevLib/SABRE ``mod5adder``-style benchmarks:
+    ``2 * num_bits + 1`` qubits (two operands plus one carry/scratch qubit).
+    """
+    if num_bits < 1:
+        raise ValueError("the modular adder needs at least one bit")
+    n = num_bits
+    total = 2 * n + 1
+    circ = Circuit(total, name=name or f"mod_adder_{total}")
+    a = list(range(n))
+    b = list(range(n, 2 * n))
+    scratch = total - 1
+    # forward ripple
+    for i in range(n):
+        circ.cx(a[i], b[i])
+        if i + 1 < n:
+            circ.ccx(a[i], b[i], b[i + 1])
+        else:
+            circ.ccx(a[i], b[i], scratch)
+    # modular correction (subtract the modulus when the scratch carry is set)
+    for i in reversed(range(n)):
+        circ.cx(scratch, b[i])
+    # backward ripple to restore the operand register
+    for i in reversed(range(n)):
+        if i + 1 < n:
+            circ.ccx(a[i], b[i], b[i + 1])
+        circ.cx(a[i], b[i])
+    return circ
+
+
+def hidden_weighted_bit(num_qubits: int, name: str | None = None) -> Circuit:
+    """A hidden-weighted-bit style permutation network (hwb4/hwb5/hwb6 analogue).
+
+    The RevLib hwb benchmarks are dense permutations synthesised into long
+    CCX/CX cascades; this generator builds a deterministic cascade with the
+    same all-to-all interaction profile and comparable gate count growth.
+    """
+    if num_qubits < 3:
+        raise ValueError("hidden-weighted-bit needs at least 3 qubits")
+    circ = Circuit(num_qubits, name=name or f"hwb_{num_qubits}")
+    for shift in range(1, num_qubits):
+        for q in range(num_qubits):
+            other = (q + shift) % num_qubits
+            third = (q + 2 * shift) % num_qubits
+            if third not in (q, other):
+                circ.ccx(q, other, third)
+            circ.cx(q, other)
+    return circ
+
+
+def swap_test_network(num_qubits: int, name: str | None = None) -> Circuit:
+    """A controlled-SWAP (Fredkin) comparison network.
+
+    Qubit 0 is the ancilla; the two halves of the remaining register are
+    compared pairwise — the classic swap-test / quantum fingerprinting layout
+    used by several Quipper-compiled benchmarks.
+    """
+    if num_qubits < 3 or num_qubits % 2 == 0:
+        raise ValueError("the swap test needs an odd number of qubits >= 3")
+    half = (num_qubits - 1) // 2
+    circ = Circuit(num_qubits, name=name or f"swaptest_{num_qubits}")
+    circ.h(0)
+    for i in range(half):
+        a = 1 + i
+        b = 1 + half + i
+        # Fredkin gate decomposed as CX + CCX + CX.
+        circ.cx(b, a)
+        circ.ccx(0, a, b)
+        circ.cx(b, a)
+    circ.h(0)
+    return circ
+
+
+def random_reversible(num_qubits: int, num_stages: int, seed: int,
+                      name: str | None = None) -> Circuit:
+    """A random CX/CCX/X reversible cascade (ESOP-synthesis lookalike)."""
+    if num_qubits < 3:
+        raise ValueError("random reversible circuits need at least 3 qubits")
+    rng = random.Random(seed)
+    circ = Circuit(num_qubits, name=name or f"rev_rand_{num_qubits}_{num_stages}")
+    for _ in range(num_stages):
+        kind = rng.random()
+        if kind < 0.2:
+            circ.x(rng.randrange(num_qubits))
+        elif kind < 0.6:
+            a, b = rng.sample(range(num_qubits), 2)
+            circ.cx(a, b)
+        else:
+            a, b, c = rng.sample(range(num_qubits), 3)
+            circ.ccx(a, b, c)
+    return circ

@@ -1,0 +1,175 @@
+"""The benchmark suite: 71 named circuits mirroring the paper's collection.
+
+The original evaluation gathers 71 OpenQASM programs from IBM Qiskit's
+repository, RevLib, ScaffCC/Quipper compilations and the SABRE artifact,
+spanning 3 to 36 qubits.  This registry reproduces the *shape* of that
+collection with programmatically generated circuits (see DESIGN.md for the
+substitution rationale): the same size range, the same mix of structured
+algorithms (QFT, BV, Grover, adders), reversible arithmetic and random
+circuits, and the same three 36-qubit outliers that only fit the 54-qubit
+Sycamore device.
+
+Every entry is lazy: the circuit is only built when requested, and results are
+cached because several experiments sweep the whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Sequence
+
+from repro.core.circuit import Circuit
+from repro.workloads import generators as gen
+from repro.workloads import reversible as rev
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One suite entry: a named circuit factory plus its metadata."""
+
+    name: str
+    family: str
+    num_qubits: int
+    builder: Callable[[], Circuit]
+    origin: str = ""
+
+    def build(self) -> Circuit:
+        """Construct (or fetch the cached) circuit, renamed to the entry name."""
+        circuit = _cached_build(self.name)
+        return circuit
+
+    def fits(self, device_qubits: int) -> bool:
+        return self.num_qubits <= device_qubits
+
+
+_REGISTRY: dict[str, BenchmarkCase] = {}
+
+
+def _register(name: str, family: str, num_qubits: int, origin: str,
+              builder: Callable[[], Circuit]) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {name!r}")
+    _REGISTRY[name] = BenchmarkCase(name=name, family=family,
+                                    num_qubits=num_qubits, builder=builder,
+                                    origin=origin)
+
+
+@lru_cache(maxsize=None)
+def _cached_build(name: str) -> Circuit:
+    case = _REGISTRY[name]
+    circuit = case.builder()
+    circuit.name = name
+    return circuit
+
+
+def _populate() -> None:
+    # --- textbook algorithms (ScaffCC / Qiskit style) -----------------------
+    for n in (3, 4, 5, 8, 10, 16):
+        _register(f"ghz_{n}", "ghz", n, "qiskit", lambda n=n: gen.ghz(n))
+    for n in (3, 4, 5, 8, 10, 16):
+        _register(f"qft_{n}", "qft", n, "scaffcc", lambda n=n: gen.qft(n))
+    for n in (3, 5, 7, 9, 11, 16):
+        _register(f"bv_{n}", "bernstein_vazirani", n, "qiskit",
+                  lambda n=n: gen.bernstein_vazirani(n))
+    for n in (4, 6, 8, 10, 12):
+        _register(f"dj_{n}", "deutsch_jozsa", n, "qiskit",
+                  lambda n=n: gen.deutsch_jozsa(n))
+    for n, iterations in ((3, 1), (4, 1), (5, 2), (6, 2), (7, 1)):
+        _register(f"grover_{n}", "grover", n, "scaffcc",
+                  lambda n=n, i=iterations: gen.grover(n, iterations=i))
+    for n in (4, 6, 8, 10):
+        _register(f"simon_{n}", "simon", n, "quipper", lambda n=n: gen.simon(n))
+    for n, layers in ((6, 1), (8, 1), (10, 2), (12, 2), (14, 2), (16, 3)):
+        _register(f"qaoa_{n}_p{layers}", "qaoa", n, "qiskit",
+                  lambda n=n, p=layers: gen.qaoa_maxcut(n, layers=p))
+
+    # --- arithmetic / SABRE-artifact style ----------------------------------
+    for bits in (2, 3, 4, 5, 6, 7):
+        n = 2 * bits + 2
+        _register(f"rc_adder_{n}", "adder", n, "sabre",
+                  lambda b=bits: gen.ripple_carry_adder(b))
+    for n, reps in ((3, 5), (5, 5), (8, 10), (10, 10), (16, 10)):
+        _register(f"tof_chain_{n}", "toffoli", n, "revlib",
+                  lambda n=n, r=reps: gen.toffoli_chain(n, repetitions=r))
+    for n, reps in ((4, 3), (6, 5), (8, 8), (10, 10)):
+        _register(f"inc_{n}", "increment", n, "revlib",
+                  lambda n=n, r=reps: rev.controlled_increment(n, repetitions=r))
+    for bits in (2, 3, 5, 7):
+        n = 2 * bits + 1
+        _register(f"mod_adder_{n}", "mod_adder", n, "revlib",
+                  lambda b=bits: rev.modular_adder(b))
+    for n in (4, 5, 6):
+        _register(f"hwb_{n}", "hwb", n, "revlib",
+                  lambda n=n: rev.hidden_weighted_bit(n))
+    for n in (5, 9, 13):
+        _register(f"swaptest_{n}", "swaptest", n, "quipper",
+                  lambda n=n: rev.swap_test_network(n))
+
+    # --- randomised circuits -------------------------------------------------
+    for n, gates, seed in ((8, 200, 3), (10, 500, 5), (16, 2000, 7)):
+        _register(f"random_{n}_{gates}", "random", n, "revlib",
+                  lambda n=n, g=gates, s=seed: gen.random_circuit(n, g, seed=s))
+    _register("rev_rand_8", "random_reversible", 8, "revlib",
+              lambda: rev.random_reversible(8, 300, seed=13))
+    _register("supremacy_2x4", "supremacy", 8, "google",
+              lambda: gen.supremacy_style(2, 4, cycles=8))
+
+    # --- the three 36-qubit programs (Sycamore-only, as in the paper) --------
+    _register("supremacy_6x6", "supremacy", 36, "google",
+              lambda: gen.supremacy_style(6, 6, cycles=8))
+    _register("qaoa_36_p1", "qaoa", 36, "qiskit",
+              lambda: gen.qaoa_maxcut(36, layers=1, edge_probability=0.12))
+    _register("random_36_2500", "random", 36, "revlib",
+              lambda: gen.random_circuit(36, 2500, seed=17))
+
+
+_populate()
+
+#: Expected size of the suite (the paper's benchmark count).
+SUITE_SIZE = 71
+
+
+def benchmark_suite(max_qubits: int | None = None,
+                    families: Sequence[str] | None = None) -> list[BenchmarkCase]:
+    """The suite, optionally filtered by qubit count and family.
+
+    Entries are sorted by ascending qubit count then name, matching how Fig. 8
+    orders its x-axis ("in the ascending order of the number of qubits used").
+    """
+    cases = list(_REGISTRY.values())
+    if max_qubits is not None:
+        cases = [c for c in cases if c.num_qubits <= max_qubits]
+    if families is not None:
+        wanted = set(families)
+        cases = [c for c in cases if c.family in wanted]
+    return sorted(cases, key=lambda c: (c.num_qubits, c.name))
+
+
+def get_benchmark(name: str) -> Circuit:
+    """Build one suite circuit by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown benchmark {name!r}")
+    return _REGISTRY[name].build()
+
+
+def benchmark_names() -> list[str]:
+    return [case.name for case in benchmark_suite()]
+
+
+def famous_algorithms() -> list[Circuit]:
+    """The seven small algorithm instances of the fidelity experiment (Fig. 9).
+
+    All of them fit a six-qubit device so the density-matrix simulator stays
+    cheap: Bernstein–Vazirani, QFT, GHZ, Grover, Deutsch–Jozsa, Simon and a
+    ripple-carry adder.
+    """
+    return [
+        gen.bernstein_vazirani(4, name="bv_4q"),
+        gen.qft(4, name="qft_4q"),
+        gen.ghz(4, name="ghz_4q"),
+        gen.grover(3, iterations=1, name="grover_3q"),
+        gen.deutsch_jozsa(4, name="dj_4q"),
+        gen.simon(4, name="simon_4q"),
+        gen.ripple_carry_adder(1, name="adder_4q"),
+    ]

@@ -1,0 +1,165 @@
+"""Tests for the extended algorithm workloads (`repro.workloads.algorithms`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import get_device
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.verification import verify_routing
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.algorithms import (EXTENDED_FAMILIES, extended_workloads,
+                                        hidden_shift, qft_adder,
+                                        quantum_phase_estimation, quantum_volume,
+                                        vqe_ansatz, w_state)
+
+
+def _big_endian_value(index: int, qubits: int) -> int:
+    """Read the ``qubits`` low-order bits of a basis index big-endian (qubit 0 = MSB)."""
+    value = 0
+    for q in range(qubits):
+        if (index >> q) & 1:
+            value |= 1 << (qubits - 1 - q)
+    return value
+
+
+def _big_endian_index(value: int, qubits: int) -> int:
+    """Basis index whose big-endian reading over ``qubits`` bits equals ``value``."""
+    index = 0
+    for position in range(qubits):
+        if (value >> position) & 1:
+            index |= 1 << (qubits - 1 - position)
+    return index
+
+
+class TestQuantumPhaseEstimation:
+    def test_register_sizes(self):
+        circuit = quantum_phase_estimation(4)
+        assert circuit.num_qubits == 5
+        assert circuit.count_ops()["cu1"] >= 4
+
+    def test_rejects_empty_counting_register(self):
+        with pytest.raises(ValueError):
+            quantum_phase_estimation(0)
+
+    def test_estimates_the_programmed_phase(self):
+        """The most likely counting-register outcome should approximate θ=1/3."""
+        counting = 4
+        circuit = quantum_phase_estimation(counting)
+        state = StatevectorSimulator().run(circuit.without_measurements())
+        probabilities = np.abs(state) ** 2
+        best_index = int(np.argmax(probabilities))
+        counting_value = _big_endian_value(best_index & ((1 << counting) - 1),
+                                           counting)
+        estimate = counting_value / (1 << counting)
+        assert abs(estimate - 1.0 / 3.0) < 1.0 / (1 << counting)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_single_excitation_superposition(self, n):
+        state = StatevectorSimulator().run(w_state(n))
+        probabilities = np.abs(state) ** 2
+        # Probability mass must sit entirely on weight-1 basis states, equally.
+        for index, p in enumerate(probabilities):
+            weight = bin(index).count("1")
+            if weight == 1:
+                assert p == pytest.approx(1.0 / n, abs=1e-9)
+            else:
+                assert p == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            w_state(1)
+
+
+class TestQuantumVolume:
+    def test_default_depth_equals_width(self):
+        circuit = quantum_volume(6, seed=1)
+        # depth layers x (3 CX per SU(4) block) x (n // 2 pairs)
+        assert circuit.count_ops()["cx"] == 6 * 3 * 3
+
+    def test_seed_determinism(self):
+        assert quantum_volume(5, seed=9) == quantum_volume(5, seed=9)
+        assert quantum_volume(5, seed=9) != quantum_volume(5, seed=10)
+
+    def test_routes_on_paper_architecture(self):
+        device = get_device("ibm_q20_tokyo")
+        result = CodarRouter().run(quantum_volume(8, seed=2), device)
+        verify_routing(result, check_semantics=False)
+
+
+class TestVqeAnsatz:
+    def test_linear_entangler_gate_count(self):
+        circuit = vqe_ansatz(6, layers=2, entangler="linear")
+        assert circuit.count_ops()["cx"] == 2 * 5
+
+    def test_full_entangler_gate_count(self):
+        circuit = vqe_ansatz(5, layers=1, entangler="full")
+        assert circuit.count_ops()["cx"] == 10  # C(5, 2)
+
+    def test_rejects_unknown_entangler(self):
+        with pytest.raises(ValueError):
+            vqe_ansatz(4, entangler="ring")
+
+
+class TestHiddenShift:
+    def test_requires_even_register(self):
+        with pytest.raises(ValueError):
+            hidden_shift(5)
+
+    def test_recovers_the_shift_string(self):
+        """Measuring the output in the computational basis yields the shift."""
+        n = 4
+        shift = 0b1011
+        circuit = hidden_shift(n, shift=shift)
+        state = StatevectorSimulator().run(circuit)
+        probabilities = np.abs(state) ** 2
+        assert int(np.argmax(probabilities)) == shift
+        assert probabilities[shift] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestQftAdder:
+    @pytest.mark.parametrize("addend", [0, 1, 3])
+    def test_adds_constant_to_basis_state(self, addend):
+        bits = 3
+        start_value = 2
+        circuit = qft_adder(bits, addend=addend)
+        # Prepare the big-endian encoding of |2> then add the constant.
+        prep = Circuit(bits)
+        start_index = _big_endian_index(start_value, bits)
+        for q in range(bits):
+            if (start_index >> q) & 1:
+                prep.x(q)
+        full = prep.compose(circuit)
+        state = StatevectorSimulator().run(full)
+        expected_value = (start_value + addend) % (1 << bits)
+        expected_index = _big_endian_index(expected_value, bits)
+        assert np.abs(state[expected_index]) ** 2 == pytest.approx(1.0, abs=1e-6)
+
+    def test_wraps_modulo_two_to_the_n(self):
+        bits = 3
+        circuit = qft_adder(bits, addend=(1 << bits) + 1)
+        # Adding 2^n + 1 is the same as adding 1 (start from |0...0>).
+        state = StatevectorSimulator().run(circuit)
+        expected_index = _big_endian_index(1, bits)
+        assert np.abs(state[expected_index]) ** 2 == pytest.approx(1.0, abs=1e-6)
+
+
+class TestExtendedRegistry:
+    def test_every_family_builds(self):
+        circuits = extended_workloads()
+        assert len(circuits) == len(EXTENDED_FAMILIES)
+        assert all(len(c) > 0 for c in circuits)
+
+    def test_max_qubits_filter(self):
+        circuits = extended_workloads(max_qubits=6)
+        assert all(c.num_qubits <= 6 for c in circuits)
+
+    def test_all_extended_workloads_route_and_comply(self):
+        device = get_device("ibm_q20_tokyo")
+        for circuit in extended_workloads(max_qubits=device.num_qubits):
+            result = CodarRouter().run(circuit, device)
+            verify_routing(result, check_semantics=circuit.num_qubits <= 8)

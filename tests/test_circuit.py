@@ -1,0 +1,147 @@
+"""Unit tests for the Circuit container (repro.core.circuit)."""
+
+import math
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.arch.durations import GateDurationMap
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circ = Circuit(3)
+        assert circ.num_qubits == 3
+        assert len(circ) == 0
+        assert circ.depth() == 0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(-1)
+        with pytest.raises(ValueError):
+            Circuit(2, num_clbits=-1)
+
+    def test_builder_methods_chain(self):
+        circ = Circuit(2).h(0).cx(0, 1).t(1)
+        assert [g.name for g in circ] == ["h", "cx", "t"]
+
+    def test_append_validates_register(self):
+        circ = Circuit(2)
+        with pytest.raises(ValueError, match="outside register"):
+            circ.append(Gate("h", (5,)))
+
+    def test_add_by_name(self):
+        circ = Circuit(2)
+        circ.add("rz", [1], [0.3])
+        assert circ[0].params == (0.3,)
+
+    def test_measure_grows_classical_register(self):
+        circ = Circuit(3)
+        circ.measure(2, 5)
+        assert circ.num_clbits == 6
+
+    def test_measure_all(self):
+        circ = Circuit(3).measure_all()
+        assert circ.count_ops()["measure"] == 3
+        assert circ.num_clbits == 3
+
+    def test_ccx_decomposes_into_elementary_gates(self):
+        circ = Circuit(3).ccx(0, 1, 2)
+        names = circ.count_ops()
+        assert names["cx"] == 6
+        assert all(g.num_qubits <= 2 for g in circ)
+
+    def test_equality(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        c = Circuit(2).h(1).cx(0, 1)
+        assert a == b
+        assert a != c
+
+
+class TestAnalysis:
+    def test_count_ops(self):
+        circ = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2)
+        assert circ.count_ops() == {"h": 2, "cx": 2}
+
+    def test_two_qubit_gates(self):
+        circ = Circuit(3).h(0).cx(0, 1).swap(1, 2)
+        assert circ.num_two_qubit_gates() == 2
+        assert [g.name for g in circ.two_qubit_gates()] == ["cx", "swap"]
+
+    def test_used_qubits(self):
+        circ = Circuit(5).h(0).cx(2, 4)
+        assert circ.used_qubits() == {0, 2, 4}
+
+    def test_depth_serial_vs_parallel(self):
+        serial = Circuit(1).h(0).t(0).h(0)
+        parallel = Circuit(3).h(0).h(1).h(2)
+        assert serial.depth() == 3
+        assert parallel.depth() == 1
+
+    def test_depth_ignores_barriers(self):
+        circ = Circuit(2).h(0).barrier(0, 1).h(1)
+        assert circ.depth() == 1
+
+    def test_weighted_depth_uses_durations(self):
+        circ = Circuit(2).t(0).cx(0, 1)
+        durations = GateDurationMap(single=1, two=2, swap=6)
+        # t finishes at 1, cx waits for qubit 0 -> starts 1, ends 3.
+        assert circ.weighted_depth(durations) == 3
+
+    def test_weighted_depth_with_plain_mapping(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        assert circ.weighted_depth({"h": 1, "cx": 10}) == 11
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        circ = Circuit(2).h(0)
+        clone = circ.copy()
+        clone.x(1)
+        assert len(circ) == 1
+        assert len(clone) == 2
+
+    def test_inverse_reverses_and_inverts(self):
+        circ = Circuit(2).h(0).s(0).cx(0, 1)
+        inv = circ.inverse()
+        assert [g.name for g in inv] == ["cx", "sdg", "h"]
+
+    def test_inverse_drops_measurements(self):
+        circ = Circuit(1).h(0).measure(0)
+        assert [g.name for g in circ.inverse()] == ["h"]
+
+    def test_reversed_order_keeps_gate_names(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        assert [g.name for g in circ.reversed_order()] == ["cx", "h"]
+
+    def test_compose(self):
+        first = Circuit(2).h(0)
+        second = Circuit(2).cx(0, 1)
+        combined = first.compose(second)
+        assert [g.name for g in combined] == ["h", "cx"]
+        with pytest.raises(ValueError):
+            Circuit(1).compose(Circuit(3))
+
+    def test_remap_qubits(self):
+        circ = Circuit(2).cx(0, 1)
+        remapped = circ.remap_qubits({0: 3, 1: 1}, num_qubits=4)
+        assert remapped[0].qubits == (3, 1)
+        assert remapped.num_qubits == 4
+
+    def test_without_measurements(self):
+        circ = Circuit(2).h(0).measure_all().barrier()
+        stripped = circ.without_measurements()
+        assert [g.name for g in stripped] == ["h"]
+
+    def test_filter_gates(self):
+        circ = Circuit(2).h(0).cx(0, 1).t(1)
+        only_single = circ.filter_gates(lambda g: g.num_qubits == 1)
+        assert [g.name for g in only_single] == ["h", "t"]
+
+    def test_from_gates(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        circ = Circuit.from_gates(2, gates, name="built")
+        assert circ.name == "built"
+        assert len(circ) == 2

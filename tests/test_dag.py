@@ -1,0 +1,79 @@
+"""Unit tests for the circuit dependency DAG."""
+
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.dag import CircuitDag
+
+
+class TestDagStructure:
+    def test_empty_circuit(self):
+        dag = CircuitDag(Circuit(2))
+        assert dag.num_gates == 0
+        assert dag.front_layer() == []
+        assert dag.depth() == 0
+
+    def test_serial_chain(self):
+        circ = Circuit(1).h(0).t(0).h(0)
+        dag = CircuitDag(circ)
+        assert dag.front_layer() == [0]
+        assert dag.predecessors[2] == [1]
+        assert dag.successors[0] == [1]
+        assert dag.depth() == 3
+
+    def test_parallel_gates(self):
+        circ = Circuit(3).h(0).h(1).h(2)
+        dag = CircuitDag(circ)
+        assert dag.front_layer() == [0, 1, 2]
+        assert dag.depth() == 1
+
+    def test_two_qubit_dependencies(self):
+        circ = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        dag = CircuitDag(circ)
+        assert dag.predecessors[1] == [0]
+        assert sorted(dag.predecessors[2]) == [0, 1]
+
+    def test_only_immediate_predecessors_recorded(self):
+        circ = Circuit(1).h(0).t(0).s(0)
+        dag = CircuitDag(circ)
+        assert dag.predecessors[2] == [1]  # not [0, 1]
+
+    def test_bare_barrier_depends_on_touched_qubits(self):
+        circ = Circuit(3).h(0).h(1)
+        circ.barrier()
+        circ.h(2)
+        dag = CircuitDag(circ)
+        assert sorted(dag.predecessors[2]) == [0, 1]
+
+    def test_topological_order_is_valid(self):
+        circ = Circuit(3).cx(0, 1).h(2).cx(1, 2).t(0)
+        dag = CircuitDag(circ)
+        order = list(dag.topological_order())
+        assert sorted(order) == list(range(4))
+        position = {gate: i for i, gate in enumerate(order)}
+        for gate_index in range(4):
+            for pred in dag.predecessors[gate_index]:
+                assert position[pred] < position[gate_index]
+
+    def test_layers_match_depth(self):
+        circ = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(0)
+        dag = CircuitDag(circ)
+        layers = dag.layers()
+        assert len(layers) == dag.depth()
+        assert sum(len(layer) for layer in layers) == len(circ)
+
+    def test_layers_respect_dependencies(self):
+        circ = Circuit(2).h(0).cx(0, 1).t(1)
+        dag = CircuitDag(circ)
+        assert dag.layers() == [[0], [1], [2]]
+
+    def test_two_qubit_interactions(self):
+        circ = Circuit(3).h(0).cx(0, 1).swap(1, 2)
+        dag = CircuitDag(circ)
+        assert dag.two_qubit_interactions() == [(0, 1), (1, 2)]
+
+    def test_gate_accessor(self):
+        circ = Circuit(2).h(1)
+        dag = CircuitDag(circ)
+        assert dag.gate(0).name == "h"
+        assert dag.gate(0).qubits == (1,)

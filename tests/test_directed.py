@@ -1,0 +1,178 @@
+"""Tests for directed coupling maps and the CX orientation pass."""
+
+import numpy as np
+import pytest
+
+from repro.arch.coupling import CouplingGraph
+from repro.arch.devices import get_device
+from repro.arch.directed import DirectedCouplingGraph
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.verification import verify_routing
+from repro.passes.orientation import count_reversals, orient_cx
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads import generators as gen
+
+
+def _states_equal_up_to_phase(a: np.ndarray, b: np.ndarray) -> bool:
+    return abs(abs(np.vdot(a, b)) - 1.0) < 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# DirectedCouplingGraph
+# --------------------------------------------------------------------------- #
+class TestDirectedCouplingGraph:
+    def test_allows_and_adjacency(self):
+        directed = DirectedCouplingGraph(3, [(0, 1), (2, 1)])
+        assert directed.allows(0, 1) and not directed.allows(1, 0)
+        assert directed.are_adjacent(1, 0)
+        assert not directed.are_adjacent(0, 2)
+
+    def test_needs_reversal(self):
+        directed = DirectedCouplingGraph(3, [(0, 1), (1, 2), (2, 1)])
+        assert not directed.needs_reversal(0, 1)
+        assert directed.needs_reversal(1, 0)
+        assert not directed.needs_reversal(1, 2)
+        assert not directed.needs_reversal(2, 1)
+        with pytest.raises(ValueError):
+            directed.needs_reversal(0, 2)
+
+    def test_rejects_self_loops_and_empty(self):
+        with pytest.raises(ValueError):
+            DirectedCouplingGraph(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            DirectedCouplingGraph(2, [])
+
+    def test_symmetric_fraction(self):
+        one_way = DirectedCouplingGraph(3, [(0, 1), (1, 2)])
+        both_ways = DirectedCouplingGraph(3, [(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert one_way.symmetric_fraction() == 0.0
+        assert both_ways.symmetric_fraction() == 1.0
+
+    def test_qx4_topology(self):
+        qx4 = DirectedCouplingGraph.ibm_qx4()
+        assert qx4.num_qubits == 5
+        assert qx4.undirected.num_edges == 6
+        assert qx4.symmetric_fraction() == 0.0
+        assert qx4.undirected.is_connected()
+
+    def test_qx5_topology(self):
+        qx5 = DirectedCouplingGraph.ibm_qx5()
+        assert qx5.num_qubits == 16
+        assert qx5.undirected.num_edges == 22
+        assert qx5.undirected.is_connected()
+
+    def test_fully_symmetric_wrapper(self):
+        grid = CouplingGraph.grid(2, 3)
+        directed = DirectedCouplingGraph.fully_symmetric(grid)
+        assert directed.symmetric_fraction() == 1.0
+        assert directed.undirected.edges == grid.edges
+
+
+# --------------------------------------------------------------------------- #
+# Orientation pass
+# --------------------------------------------------------------------------- #
+class TestOrientCx:
+    def test_native_direction_untouched(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).h(0).cx(0, 1)
+        oriented = orient_cx(circuit, directed)
+        assert oriented.gates == circuit.gates
+
+    def test_reversed_cx_uses_four_hadamards(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).cx(1, 0)
+        oriented = orient_cx(circuit, directed)
+        ops = oriented.count_ops()
+        assert ops["h"] == 4 and ops["cx"] == 1
+        cx = next(g for g in oriented.gates if g.name == "cx")
+        assert cx.qubits == (0, 1)
+
+    def test_reversal_preserves_semantics(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).h(0).h(1).cx(1, 0).t(0)
+        oriented = orient_cx(circuit, directed)
+        sim = StatevectorSimulator()
+        assert _states_equal_up_to_phase(sim.run(circuit), sim.run(oriented))
+
+    def test_swap_expansion_and_orientation(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).x(0).swap(0, 1)
+        oriented = orient_cx(circuit, directed)
+        assert "swap" not in oriented.count_ops()
+        for gate in oriented.gates:
+            if gate.name == "cx":
+                assert directed.allows(*gate.qubits)
+        sim = StatevectorSimulator()
+        assert _states_equal_up_to_phase(sim.run(circuit), sim.run(oriented))
+
+    def test_symmetric_gates_pass_through(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).cz(1, 0)
+        oriented = orient_cx(circuit, directed)
+        assert oriented.count_ops()["cz"] == 1
+
+    def test_controlled_phase_is_lowered_then_oriented(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).h(0).h(1).cu1(0.7, 1, 0)
+        oriented = orient_cx(circuit, directed)
+        for gate in oriented.gates:
+            if gate.name == "cx":
+                assert directed.allows(*gate.qubits)
+        sim = StatevectorSimulator()
+        assert _states_equal_up_to_phase(sim.run(circuit), sim.run(oriented))
+
+    def test_noncompliant_input_is_rejected(self):
+        directed = DirectedCouplingGraph(3, [(0, 1), (1, 2)])
+        circuit = Circuit(3).cx(0, 2)
+        with pytest.raises(ValueError):
+            orient_cx(circuit, directed)
+
+    def test_count_reversals(self):
+        directed = DirectedCouplingGraph(2, [(0, 1)])
+        circuit = Circuit(2).cx(0, 1).cx(1, 0).swap(0, 1)
+        # cx(0,1): 0; cx(1,0): 1; swap: CX(0,1) CX(1,0) CX(0,1) -> 1 reversal.
+        assert count_reversals(circuit, directed) == 2
+
+
+# --------------------------------------------------------------------------- #
+# End to end on the directed device models
+# --------------------------------------------------------------------------- #
+class TestDirectedDevices:
+    @pytest.mark.parametrize("device_name", ["ibm_qx4", "ibm_qx5"])
+    def test_registry_exposes_directed_devices(self, device_name):
+        device = get_device(device_name)
+        assert device.has_directed_coupling
+        assert device.directed.num_qubits == device.num_qubits
+
+    def test_route_then_orient_on_qx4(self):
+        device = get_device("ibm_qx4")
+        circuit = gen.qft(4)
+        result = CodarRouter().run(circuit, device)
+        verify_routing(result)
+        oriented = orient_cx(result.routed, device.directed)
+        for gate in oriented.gates:
+            if gate.name == "cx":
+                assert device.directed.allows(*gate.qubits)
+            elif gate.num_qubits == 2 and not gate.is_barrier:
+                assert device.directed.are_adjacent(*gate.qubits)
+
+    def test_route_then_orient_on_qx5(self):
+        device = get_device("ibm_qx5")
+        circuit = gen.bernstein_vazirani(9)
+        result = CodarRouter().run(circuit, device)
+        verify_routing(result)
+        oriented = orient_cx(result.routed, device.directed)
+        assert all(device.directed.allows(*g.qubits)
+                   for g in oriented.gates if g.name == "cx")
+
+    def test_orientation_overhead_is_bounded(self):
+        """Each reversed CX costs exactly four extra Hadamards."""
+        device = get_device("ibm_qx4")
+        result = CodarRouter().run(gen.ghz(5), device)
+        routed_cx_only = orient_cx(result.routed, device.directed,
+                                   lower_to_cx_basis=True)
+        reversals = count_reversals(result.routed, device.directed)
+        baseline_h = sum(1 for g in result.routed.gates if g.name == "h")
+        oriented_h = routed_cx_only.count_ops().get("h", 0)
+        assert oriented_h == baseline_h + 4 * reversals

@@ -1,0 +1,168 @@
+"""Tests for the experiment harnesses (Table I, Fig. 1/2, Fig. 8, Fig. 9, ablation)."""
+
+import math
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.experiments.ablation import AblationExperiment
+from repro.experiments.device_table import (
+    device_table,
+    duration_ratio_of,
+    report as device_report,
+    technology_duration_maps,
+)
+from repro.experiments.fidelity import FidelityExperiment
+from repro.experiments.motivating import (
+    motivating_context_example,
+    motivating_duration_example,
+)
+from repro.experiments.reporting import arithmetic_mean, format_table, geometric_mean
+from repro.experiments.speedup import SpeedupExperiment
+from repro.workloads import ghz, qft
+
+
+class TestReportingHelpers:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_handles_none_and_floats(self):
+        text = format_table([{"v": None, "f": 1.23456}])
+        assert "-" in text and "1.235" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestDeviceTable:
+    def test_six_rows(self):
+        assert len(device_table()) == 6
+
+    def test_report_mentions_all_devices(self):
+        text = device_report()
+        for name in ("Ion Q5", "IBM Q16", "IBM Q20", "Neutral Atom"):
+            assert name in text
+
+    def test_superconducting_ratio_at_least_two(self):
+        assert duration_ratio_of("ibm_q5") >= 2.0
+
+    def test_technology_maps(self):
+        maps = technology_duration_maps()
+        assert maps["superconducting"].two == 2
+        assert maps["ion_trap"].two > maps["ion_trap"].single
+        assert maps["neutral_atom"].two <= maps["neutral_atom"].single
+
+
+class TestMotivatingExamples:
+    def test_fig1_context_awareness(self):
+        result = motivating_context_example()
+        # The paper's analysis: SWAP runs in parallel with the T gate, so the
+        # fragment completes in SWAP(6) + CX(2) = 8 cycles.
+        assert result.codar_weighted_depth == 8
+        assert result.codar_weighted_depth <= result.sabre_weighted_depth
+        assert result.speedup >= 1.0
+
+    def test_fig2_duration_awareness(self):
+        result = motivating_duration_example()
+        # CODAR starts the SWAP at cycle 1 (after the T) instead of cycle 2:
+        # 1 + 6 + 2 = 9 cycles, one cycle faster than the duration-blind 10.
+        assert result.codar_weighted_depth == 9
+        assert result.sabre_weighted_depth == 10
+        assert result.speedup > 1.0
+
+
+class TestSpeedupExperiment:
+    def test_single_record_fields(self):
+        exp = SpeedupExperiment(architectures=["ibm_q20_tokyo"])
+        record = exp.run_single(qft(5), get_device("ibm_q20_tokyo"))
+        assert record.benchmark == "qft_5"
+        assert record.codar_weighted_depth > 0
+        assert record.sabre_weighted_depth > 0
+        assert record.speedup > 0
+        assert set(record.as_row()) >= {"benchmark", "speedup", "codar_wd", "sabre_wd"}
+
+    def test_cases_respect_device_capacity(self):
+        exp = SpeedupExperiment()
+        q16 = get_device("ibm_q16_melbourne")
+        assert all(c.num_qubits <= 16 for c in exp.cases_for(q16))
+        sycamore = get_device("google_sycamore54")
+        assert len(exp.cases_for(sycamore)) == 71
+
+    def test_size_filters(self):
+        exp = SpeedupExperiment(max_benchmark_qubits=5, max_benchmark_gates=100)
+        cases = exp.cases_for(get_device("ibm_q20_tokyo"))
+        assert all(c.num_qubits <= 5 for c in cases)
+        assert all(len(c.build()) <= 100 for c in cases)
+
+    def test_small_sweep_produces_summary(self):
+        exp = SpeedupExperiment(architectures=["ibm_q20_tokyo"],
+                                max_benchmark_qubits=5, max_benchmark_gates=120)
+        summaries = exp.run()
+        summary = summaries["ibm_q20_tokyo"]
+        assert len(summary.records) > 3
+        assert summary.average_speedup > 0.8
+        assert 0 <= summary.wins <= len(summary.records)
+        report = SpeedupExperiment.report(summaries, detailed=True)
+        assert "average_speedup" in report
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        exp = SpeedupExperiment(architectures=["ibm_q20_tokyo"],
+                                max_benchmark_qubits=4, max_benchmark_gates=60)
+        exp.run_architecture("ibm_q20_tokyo", progress=seen.append)
+        assert seen and all("ibm_q20_tokyo" in msg for msg in seen)
+
+
+class TestFidelityExperiment:
+    @pytest.fixture(scope="class")
+    def records(self):
+        circuits = [ghz(4, name="ghz_4q"), qft(4, name="qft_4q")]
+        return FidelityExperiment(circuits=circuits).run()
+
+    def test_runs_both_regimes(self, records):
+        assert {r.regime for r in records} == {"dephasing", "damping"}
+        assert len(records) == 4
+
+    def test_fidelities_are_probabilities(self, records):
+        for record in records:
+            assert 0.0 <= record.codar_fidelity <= 1.0 + 1e-9
+            assert 0.0 <= record.sabre_fidelity <= 1.0 + 1e-9
+
+    def test_codar_not_much_worse_than_sabre(self, records):
+        # The Fig. 9 claim: CODAR maintains fidelity (allow small tolerance).
+        for record in records:
+            assert record.codar_fidelity >= record.sabre_fidelity - 0.05
+
+    def test_report_renders(self, records):
+        text = FidelityExperiment.report(records)
+        assert "dephasing" in text and "damping" in text
+
+
+class TestAblationExperiment:
+    def test_small_ablation_run(self):
+        exp = AblationExperiment(device=get_device("ibm_q20_tokyo"),
+                                 max_qubits=5, max_gates=80)
+        records = exp.run()
+        variants = {r.variant for r in records}
+        assert variants == {"full", "no_locks", "no_commutativity",
+                            "no_fine_priority", "uniform_durations"}
+        full = [r for r in records if r.variant == "full"]
+        assert all(r.slowdown == 1.0 for r in full)
+        report = AblationExperiment.report(records)
+        assert "average_slowdown_vs_full" in report

@@ -1,0 +1,154 @@
+"""Tests for the extended experiment harnesses.
+
+Covers the duration-sensitivity sweep, the runtime-scaling study, the
+initial-mapping sensitivity study and the cross-router baseline comparison.
+All runs use tiny configurations so the whole module stays fast; the full
+sweeps live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.experiments.baselines import (BaselineComparisonExperiment,
+                                         default_routers)
+from repro.experiments.layouts import LayoutSensitivityExperiment
+from repro.experiments.scaling import RuntimeScalingExperiment
+from repro.experiments.sensitivity import DurationSensitivityExperiment
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter
+
+
+# --------------------------------------------------------------------------- #
+# Duration sensitivity (maQAM multi-technology question)
+# --------------------------------------------------------------------------- #
+class TestDurationSensitivity:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return DurationSensitivityExperiment(max_qubits=5, max_gates=100,
+                                             two_qubit_ratios=(1, 2, 8),
+                                             swap_ratios=(3,))
+
+    def test_duration_map_ratios(self, experiment):
+        durations = experiment.duration_map(4, 3)
+        assert durations.single == 1
+        assert durations.two == 4
+        assert durations.swap == 12
+
+    def test_point_reports_positive_speedups(self, experiment):
+        point = experiment.run_point(2, 3)
+        assert point.benchmarks > 0
+        assert point.average_speedup > 0.8
+        assert point.geomean_speedup > 0.8
+
+    def test_uniform_durations_keep_codar_competitive(self, experiment):
+        point = experiment.run_point(1, 1)
+        # With every gate lasting one cycle CODAR has no duration information
+        # to exploit; whatever advantage remains comes from the context
+        # mechanisms, and CODAR must at least not fall behind SABRE.
+        assert point.average_speedup > 0.9
+
+    def test_full_grid_covers_every_ratio(self, experiment):
+        points = experiment.run()
+        assert len(points) == 3  # 3 ratios x 1 swap ratio
+        assert {p.two_qubit_ratio for p in points} == {1, 2, 8}
+
+    def test_report_mentions_paper_configuration(self, experiment):
+        points = experiment.run()
+        text = DurationSensitivityExperiment.report(points)
+        assert "2q/1q ratio" in text and "average_speedup" in text
+
+
+# --------------------------------------------------------------------------- #
+# Runtime scaling
+# --------------------------------------------------------------------------- #
+class TestRuntimeScaling:
+    @pytest.fixture(scope="class")
+    def records(self):
+        experiment = RuntimeScalingExperiment(num_qubits=10,
+                                              gate_counts=(50, 200),
+                                              routers=[CodarRouter(), SabreRouter()])
+        return experiment.run()
+
+    def test_one_record_per_router_and_size(self, records):
+        assert len(records) == 4
+        assert {r.router for r in records} == {"codar", "sabre"}
+        assert {r.num_gates for r in records} == {50, 200}
+
+    def test_runtime_positive_and_swaps_counted(self, records):
+        for record in records:
+            assert record.runtime_s > 0
+            assert record.routed_gates == record.num_gates + record.swaps
+
+    def test_report_contains_growth_section(self, records):
+        text = RuntimeScalingExperiment.report(records)
+        assert "Growth factors" in text
+
+    def test_rejects_oversized_register(self):
+        with pytest.raises(ValueError):
+            RuntimeScalingExperiment(device=get_device("line", num_qubits=4),
+                                     num_qubits=10)
+
+
+# --------------------------------------------------------------------------- #
+# Initial-mapping sensitivity
+# --------------------------------------------------------------------------- #
+class TestLayoutSensitivity:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return LayoutSensitivityExperiment(max_qubits=5, max_gates=100)
+
+    def test_records_cover_requested_strategies(self, experiment):
+        records = experiment.run(strategies=["reverse_traversal_1", "identity"])
+        assert {r.strategy for r in records} == {"reverse_traversal_1", "identity"}
+
+    def test_baseline_strategy_always_present(self, experiment):
+        records = experiment.run(strategies=["identity"])
+        assert any(r.strategy == "reverse_traversal_1" for r in records)
+
+    def test_relative_depth_of_baseline_is_one(self, experiment):
+        records = experiment.run(strategies=["identity"])
+        for record in records:
+            if record.strategy == "reverse_traversal_1":
+                assert record.relative_depth == pytest.approx(1.0)
+
+    def test_report_sorted_by_quality(self, experiment):
+        records = experiment.run(strategies=["reverse_traversal_1", "identity",
+                                             "degree"])
+        text = LayoutSensitivityExperiment.report(records)
+        assert "strategy" in text and "mean_swaps" in text
+
+
+# --------------------------------------------------------------------------- #
+# Baseline comparison
+# --------------------------------------------------------------------------- #
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def records(self):
+        experiment = BaselineComparisonExperiment(max_qubits=5, max_gates=80)
+        return experiment.run()
+
+    def test_default_router_set(self):
+        names = {router.name for router in default_routers()}
+        assert names == {"trivial", "astar", "sabre", "codar"}
+
+    def test_every_router_covers_every_benchmark(self, records):
+        routers = {r.router for r in records}
+        assert routers == {"trivial", "astar", "sabre", "codar"}
+        benchmarks = {r.benchmark for r in records}
+        for name in routers:
+            assert {r.benchmark for r in records if r.router == name} == benchmarks
+
+    def test_sabre_speedup_vs_itself_is_one(self, records):
+        for record in records:
+            if record.router == "sabre":
+                assert record.speedup_vs_sabre == pytest.approx(1.0)
+
+    def test_codar_beats_trivial_on_average(self, records):
+        def mean_depth(name):
+            subset = [r.weighted_depth for r in records if r.router == name]
+            return sum(subset) / len(subset)
+        assert mean_depth("codar") <= mean_depth("trivial")
+
+    def test_report_renders_summary(self, records):
+        text = BaselineComparisonExperiment.report(records, detailed=True)
+        assert "geomean_speedup_vs_sabre" in text

@@ -1,0 +1,142 @@
+"""Unit tests for the gate model (repro.core.gates)."""
+
+import math
+
+import pytest
+
+from repro.core.gates import (
+    GATE_SET,
+    DurationClass,
+    Gate,
+    GateSpec,
+    TWO_QUBIT_GATES,
+    cx_gate,
+    is_known_gate,
+    make_gate,
+    swap_gate,
+)
+
+
+class TestGateSet:
+    def test_standard_names_present(self):
+        for name in ("h", "x", "z", "t", "cx", "cz", "swap", "rz", "u3", "measure"):
+            assert name in GATE_SET
+
+    def test_two_qubit_gate_classification(self):
+        assert "cx" in TWO_QUBIT_GATES
+        assert "swap" in TWO_QUBIT_GATES
+        assert "h" not in TWO_QUBIT_GATES
+
+    def test_duration_classes(self):
+        assert GATE_SET["h"].duration_class is DurationClass.SINGLE
+        assert GATE_SET["cx"].duration_class is DurationClass.TWO
+        assert GATE_SET["swap"].duration_class is DurationClass.SWAP
+        assert GATE_SET["barrier"].duration_class is DurationClass.BARRIER
+
+    def test_diagonal_metadata(self):
+        for name in ("z", "s", "t", "rz", "u1", "cz", "cu1", "rzz"):
+            assert GATE_SET[name].diagonal, name
+        for name in ("x", "h", "cx", "u3"):
+            assert not GATE_SET[name].diagonal, name
+
+    def test_is_known_gate(self):
+        assert is_known_gate("cx")
+        assert not is_known_gate("frobnicate")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GateSpec("bad", num_qubits=-1)
+        with pytest.raises(ValueError):
+            GateSpec("bad", num_qubits=1, num_params=-2)
+
+
+class TestGateInstances:
+    def test_basic_construction(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+        assert not gate.is_swap
+        assert gate.duration_class is DurationClass.TWO
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            Gate("nope", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubits"):
+            Gate("cx", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cx", (1, 1))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError, match="expects 1 params"):
+            Gate("rz", (0,), ())
+
+    def test_parameters_coerced_to_float(self):
+        gate = Gate("rz", (0,), (1,))
+        assert gate.params == (1.0,)
+        assert isinstance(gate.params[0], float)
+
+    def test_remap_with_dict_and_sequence(self):
+        gate = Gate("cx", (0, 2))
+        assert gate.remap({0: 5, 2: 7}).qubits == (5, 7)
+        assert gate.remap([9, 8, 7]).qubits == (9, 7)
+
+    def test_remap_preserves_tag(self):
+        gate = Gate("swap", (0, 1), tag="routing")
+        assert gate.remap({0: 3, 1: 4}).tag == "routing"
+
+    def test_routing_swap_flag(self):
+        assert Gate("swap", (0, 1), tag="routing").is_routing_swap
+        assert not Gate("swap", (0, 1)).is_routing_swap
+        assert not Gate("cx", (0, 1), tag="routing").is_routing_swap
+
+    def test_tag_does_not_affect_equality(self):
+        assert Gate("swap", (0, 1), tag="routing") == Gate("swap", (0, 1))
+
+    def test_measure_flags(self):
+        gate = Gate("measure", (3,), cbits=(2,))
+        assert gate.is_measure
+        assert gate.cbits == (2,)
+
+    def test_barrier_arbitrary_width(self):
+        assert Gate("barrier", (0, 1, 2)).is_barrier
+        assert Gate("barrier", ()).is_directive
+
+
+class TestGateInverse:
+    def test_hermitian_gates_are_self_inverse(self):
+        for name in ("x", "y", "z", "h", "cx", "cz", "swap"):
+            spec = GATE_SET[name]
+            qubits = tuple(range(spec.num_qubits))
+            gate = Gate(name, qubits)
+            assert gate.inverse() == gate
+
+    def test_dagger_pairs(self):
+        assert Gate("s", (0,)).inverse().name == "sdg"
+        assert Gate("tdg", (0,)).inverse().name == "t"
+
+    def test_rotation_inverse_negates_angle(self):
+        gate = Gate("rz", (0,), (0.5,))
+        assert gate.inverse().params == (-0.5,)
+
+    def test_u3_inverse_swaps_phi_lambda(self):
+        gate = Gate("u3", (0,), (0.1, 0.2, 0.3))
+        assert gate.inverse().params == (-0.1, -0.3, -0.2)
+
+    def test_u2_inverse(self):
+        gate = Gate("u2", (0,), (0.25, 0.75))
+        inv = gate.inverse()
+        assert inv.name == "u2"
+        assert inv.params == pytest.approx((-0.75 - math.pi, -0.25 + math.pi))
+
+
+class TestConstructors:
+    def test_make_gate_normalises_case(self):
+        assert make_gate("CX", [0, 1]).name == "cx"
+
+    def test_swap_and_cx_helpers(self):
+        assert swap_gate(2, 3).name == "swap"
+        assert cx_gate(1, 0).qubits == (1, 0)

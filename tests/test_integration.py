@@ -1,0 +1,148 @@
+"""Integration tests: the full pipeline from QASM text to verified routed circuits.
+
+These tests exercise the same paths the examples and benchmark harnesses use:
+parse / generate a workload, build an initial layout, route with CODAR and
+SABRE on a real device model, verify the result, schedule it and (for small
+cases) push it through the noisy simulator.
+"""
+
+import pytest
+
+from repro.arch.devices import get_device, paper_devices
+from repro.arch.durations import GateDurationMap
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
+from repro.mapping.trivial import TrivialRouter
+from repro.mapping.verification import verify_routing
+from repro.qasm import circuit_to_qasm, parse_qasm
+from repro.sim.fidelity import routed_fidelity
+from repro.sim.noise import NoiseModel
+from repro.sim.scheduler import asap_schedule
+from repro.workloads import bernstein_vazirani, ghz, qaoa_maxcut, qft
+from repro.workloads.suite import benchmark_suite, get_benchmark
+
+
+ROUTERS = [CodarRouter(), SabreRouter(), TrivialRouter()]
+
+
+class TestQasmToRoutedPipeline:
+    QASM = """
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[4];
+    creg c[4];
+    h q[0];
+    cx q[0],q[3];
+    ccx q[0],q[1],q[2];
+    rz(pi/8) q[3];
+    cx q[3],q[1];
+    measure q -> c;
+    """
+
+    @pytest.mark.parametrize("router", ROUTERS, ids=lambda r: r.name)
+    def test_parse_route_verify(self, router):
+        circuit = parse_qasm(self.QASM)
+        device = get_device("ibm_q20_tokyo")
+        result = router.run(circuit, device)
+        verify_routing(result)
+        assert result.routed.count_ops()["measure"] == 4
+
+    def test_routed_circuit_exports_to_qasm(self):
+        circuit = parse_qasm(self.QASM)
+        device = get_device("grid", rows=2, cols=2)
+        result = CodarRouter().run(circuit, device)
+        text = circuit_to_qasm(result.routed)
+        reparsed = parse_qasm(text)
+        assert len(reparsed) == len(result.routed)
+        assert reparsed.num_qubits >= result.original.num_qubits
+
+
+class TestSharedInitialMapping:
+    def test_both_routers_start_from_same_layout(self):
+        circuit = qft(6)
+        device = get_device("ibm_q20_tokyo")
+        layout = reverse_traversal_layout(circuit, device)
+        codar = CodarRouter().run(circuit, device, initial_layout=layout)
+        sabre = SabreRouter().run(circuit, device, initial_layout=layout)
+        assert codar.initial_layout == sabre.initial_layout == layout
+        verify_routing(codar)
+        verify_routing(sabre)
+
+
+class TestAcrossPaperArchitectures:
+    @pytest.mark.parametrize("device_name", [
+        "ibm_q16_melbourne", "ibm_q20_tokyo", "grid_6x6", "google_sycamore54",
+    ])
+    def test_codar_and_sabre_route_small_benchmarks(self, device_name):
+        device = get_device(device_name)
+        for circuit in (qft(5), bernstein_vazirani(6), qaoa_maxcut(6)):
+            layout = reverse_traversal_layout(circuit, device)
+            for router in (CodarRouter(), SabreRouter()):
+                result = router.run(circuit, device, initial_layout=layout)
+                verify_routing(result)
+                assert result.weighted_depth > 0
+
+    def test_large_benchmarks_only_fit_sycamore(self):
+        case_36 = [c for c in benchmark_suite() if c.num_qubits == 36][0]
+        assert not case_36.fits(get_device("ibm_q20_tokyo").num_qubits)
+        assert case_36.fits(get_device("google_sycamore54").num_qubits)
+
+
+class TestSuiteRoutingSample:
+    @pytest.mark.parametrize("name", [
+        "qft_8", "bv_9", "rc_adder_8", "hwb_5", "qaoa_10_p2", "swaptest_9",
+    ])
+    def test_suite_entries_route_and_comply(self, name):
+        circuit = get_benchmark(name)
+        device = get_device("ibm_q20_tokyo")
+        result = CodarRouter().run(circuit, device)
+        verify_routing(result, check_semantics=circuit.num_qubits <= 9)
+
+    def test_weighted_depth_never_below_original_lower_bound(self):
+        # Routing adds SWAPs; the weighted depth of the routed circuit can
+        # never beat the original circuit's own critical path.
+        device = get_device("ibm_q20_tokyo")
+        for name in ("qft_8", "rc_adder_8"):
+            circuit = get_benchmark(name)
+            lower_bound = asap_schedule(circuit, device.durations).makespan
+            for router in (CodarRouter(), SabreRouter()):
+                result = router.run(circuit, device)
+                assert result.weighted_depth >= lower_bound
+
+
+class TestEndToEndFidelity:
+    def test_routed_ghz_keeps_high_fidelity_under_mild_noise(self):
+        device = get_device("grid", rows=2, cols=3)
+        result = CodarRouter().run(ghz(5), device)
+        fidelity = routed_fidelity(result, NoiseModel.dephasing_dominant(t2=2000))
+        assert fidelity > 0.9
+
+    def test_faster_routing_gives_no_worse_fidelity(self):
+        device = get_device("grid", rows=2, cols=3)
+        circuit = qft(4)
+        layout = reverse_traversal_layout(circuit, device)
+        codar = CodarRouter().run(circuit, device, initial_layout=layout)
+        sabre = SabreRouter().run(circuit, device, initial_layout=layout)
+        noise = NoiseModel.dephasing_dominant(t2=200)
+        codar_fidelity = routed_fidelity(codar, noise)
+        sabre_fidelity = routed_fidelity(sabre, noise)
+        if codar.weighted_depth < sabre.weighted_depth:
+            assert codar_fidelity >= sabre_fidelity - 1e-6
+
+
+class TestDurationModelsAcrossTechnologies:
+    def test_ion_trap_durations_change_weighted_depth_not_correctness(self):
+        ion_trap = GateDurationMap.for_technology("ion_trap")
+        device = get_device("ibm_q20_tokyo", durations=ion_trap)
+        result = CodarRouter().run(qft(5), device)
+        verify_routing(result)
+        super_device = get_device("ibm_q20_tokyo")
+        baseline = CodarRouter().run(qft(5), super_device)
+        assert result.weighted_depth > baseline.weighted_depth
+
+    def test_neutral_atom_profile(self):
+        neutral = GateDurationMap.for_technology("neutral_atom")
+        device = get_device("grid", rows=3, cols=3, durations=neutral)
+        result = CodarRouter().run(qaoa_maxcut(8), device)
+        verify_routing(result)

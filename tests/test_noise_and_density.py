@@ -1,0 +1,166 @@
+"""Tests for noise channels, the density-matrix simulator and fidelity evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.durations import GateDurationMap
+from repro.core.circuit import Circuit
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.fidelity import circuit_fidelity, routed_fidelity
+from repro.sim.noise import (
+    NoiseModel,
+    amplitude_damping_kraus,
+    dephasing_kraus,
+    depolarizing_kraus,
+)
+from repro.sim.statevector import StatevectorSimulator
+
+DUR = GateDurationMap(single=1, two=2, swap=6)
+
+
+def _is_cptp(kraus) -> bool:
+    total = sum(k.conj().T @ k for k in kraus)
+    return np.allclose(total, np.eye(total.shape[0]), atol=1e-10)
+
+
+class TestKrausChannels:
+    @pytest.mark.parametrize("gamma", [0.0, 0.1, 0.5, 1.0])
+    def test_amplitude_damping_trace_preserving(self, gamma):
+        assert _is_cptp(amplitude_damping_kraus(gamma))
+
+    @pytest.mark.parametrize("lam", [0.0, 0.3, 1.0])
+    def test_dephasing_trace_preserving(self, lam):
+        assert _is_cptp(dephasing_kraus(lam))
+
+    @pytest.mark.parametrize("p", [0.0, 0.2, 1.0])
+    def test_depolarizing_trace_preserving(self, p):
+        assert _is_cptp(depolarizing_kraus(p))
+
+    def test_parameter_range_checked(self):
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(1.5)
+        with pytest.raises(ValueError):
+            dephasing_kraus(-0.1)
+
+
+class TestNoiseModel:
+    def test_noiseless_model(self):
+        model = NoiseModel.noiseless()
+        assert model.is_noiseless
+        assert model.idle_channels(10.0) == []
+
+    def test_dephasing_dominant(self):
+        model = NoiseModel.dephasing_dominant(t2=100)
+        channels = model.idle_channels(10.0)
+        assert len(channels) == 1  # only the dephasing channel
+        assert not model.is_noiseless
+
+    def test_damping_dominant(self):
+        model = NoiseModel.damping_dominant(t1=100)
+        assert len(model.idle_channels(10.0)) == 1
+
+    def test_noise_grows_with_duration(self):
+        model = NoiseModel.dephasing_dominant(t2=50)
+        short = model.idle_channels(1.0)[0][1]
+        long = model.idle_channels(25.0)[0][1]
+        assert np.linalg.norm(long) > np.linalg.norm(short)
+
+    def test_gate_error_added_for_two_qubit_gates(self):
+        model = NoiseModel(t2=100, gate_error_2q=0.01)
+        assert len(model.gate_channels(2.0, num_qubits=2)) == 2
+        assert len(model.gate_channels(2.0, num_qubits=1)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NoiseModel(t1=-1)
+        with pytest.raises(ValueError):
+            NoiseModel(gate_error_1q=2.0)
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self):
+        circ = Circuit(3).h(0).cx(0, 1).t(1).cx(1, 2)
+        rho = DensityMatrixSimulator().run(circ, DUR)
+        state = StatevectorSimulator().run(circ)
+        assert np.allclose(rho, np.outer(state, state.conj()), atol=1e-9)
+
+    def test_trace_preserved_under_noise(self):
+        circ = Circuit(2).h(0).cx(0, 1).cx(0, 1).h(1)
+        noise = NoiseModel(t1=20, t2=15, gate_error_2q=0.01)
+        rho = DensityMatrixSimulator(noise).run(circ, DUR)
+        assert np.trace(rho).real == pytest.approx(1.0)
+        # Hermitian and positive semi-definite (eigenvalues >= -eps).
+        assert np.allclose(rho, rho.conj().T)
+        assert min(np.linalg.eigvalsh(rho)) > -1e-9
+
+    def test_noise_reduces_purity(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        noisy = DensityMatrixSimulator(NoiseModel(t2=10)).run(circ, DUR)
+        assert DensityMatrixSimulator.purity(noisy) < 1.0
+
+    def test_damping_decays_excited_state(self):
+        circ = Circuit(1).x(0)
+        # Add idle time by scheduling a long identity tail via durations.
+        noise = NoiseModel.damping_dominant(t1=5)
+        rho = DensityMatrixSimulator(noise).run(circ, DUR)
+        assert rho[1, 1].real < 1.0
+        assert rho[0, 0].real > 0.0
+
+    def test_dephasing_kills_coherence_not_population(self):
+        circ = Circuit(1).h(0)
+        noise = NoiseModel.dephasing_dominant(t2=2)
+        rho = DensityMatrixSimulator(noise).run(circ, DUR)
+        assert rho[0, 0].real == pytest.approx(0.5, abs=1e-6)
+        assert abs(rho[0, 1]) < 0.5
+
+    def test_longer_schedule_means_lower_fidelity(self):
+        # Two circuits with the same gates; the second serialises them.
+        parallel = Circuit(4).h(0).h(1).h(2).h(3).cx(0, 1).cx(2, 3)
+        serial = Circuit(4).h(0).h(1).h(2).h(3).cx(0, 1).cx(1, 2).cx(1, 2).cx(2, 3)
+        noise = NoiseModel.dephasing_dominant(t2=30)
+        f_parallel = circuit_fidelity(parallel, DUR, noise)
+        f_serial = circuit_fidelity(serial, DUR, noise)
+        assert f_parallel > f_serial
+
+    def test_qubit_limit_enforced(self):
+        simulator = DensityMatrixSimulator(max_qubits=2)
+        with pytest.raises(ValueError):
+            simulator.run(Circuit(3).h(0), DUR)
+
+
+class TestRoutedFidelity:
+    def _routed(self, router_cls):
+        from repro.arch.devices import get_device
+        from repro.workloads import ghz
+
+        device = get_device("grid", rows=2, cols=2)
+        return router_cls().run(ghz(4), device)
+
+    def test_noiseless_routed_fidelity_is_one(self):
+        from repro.mapping.codar.remapper import CodarRouter
+
+        result = self._routed(CodarRouter)
+        fidelity = routed_fidelity(result, NoiseModel.noiseless())
+        assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_fidelity_below_one_and_positive(self):
+        from repro.mapping.sabre.remapper import SabreRouter
+
+        result = self._routed(SabreRouter)
+        fidelity = routed_fidelity(result, NoiseModel.dephasing_dominant(t2=50))
+        assert 0.0 < fidelity < 1.0
+
+    def test_circuit_fidelity_noiseless_is_one(self):
+        circ = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        assert circuit_fidelity(circ, DUR, NoiseModel.noiseless()) == pytest.approx(1.0)
+
+    def test_large_device_rejected(self):
+        from repro.arch.devices import get_device
+        from repro.mapping.codar.remapper import CodarRouter
+        from repro.workloads import ghz
+
+        result = CodarRouter().run(ghz(4), get_device("ibm_q20_tokyo"))
+        with pytest.raises(ValueError):
+            routed_fidelity(result, NoiseModel.noiseless())

@@ -1,0 +1,195 @@
+"""Tests for the decomposition, optimisation and transpile pipeline passes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import get_device
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.core.unitary import circuit_unitary
+from repro.passes import (
+    BASIS_IBM,
+    BASIS_ION_TRAP,
+    cancel_adjacent_inverses,
+    decompose_swaps,
+    decompose_to_basis,
+    merge_rotations,
+    optimize_circuit,
+    remove_trivial_gates,
+    transpile,
+)
+from repro.workloads import qft
+
+
+def equal_up_to_phase(circuit_a: Circuit, circuit_b: Circuit) -> bool:
+    a = circuit_unitary(circuit_a.without_measurements())
+    b = circuit_unitary(circuit_b.without_measurements())
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(b[index]) < 1e-12:
+        return False
+    return np.allclose(a / a[index], b / b[index], atol=1e-8)
+
+
+class TestDecomposeToBasis:
+    TWO_QUBIT_CASES = [
+        ("swap", ()), ("cz", ()), ("cy", ()), ("ch", ()), ("iswap", ()),
+        ("cp", (0.7,)), ("cu1", (0.9,)), ("crz", (0.5,)), ("crx", (0.4,)),
+        ("cry", (0.6,)), ("cu3", (0.3, 0.5, 0.7)), ("rzz", (0.8,)),
+        ("rxx", (0.6,)), ("ryy", (0.4,)), ("xx", ()),
+    ]
+
+    @pytest.mark.parametrize("name,params", TWO_QUBIT_CASES)
+    def test_two_qubit_rewrites_preserve_unitary(self, name, params):
+        circ = Circuit(2).add(name, [0, 1], params)
+        lowered = decompose_to_basis(circ, BASIS_IBM)
+        assert all(g.name in BASIS_IBM for g in lowered)
+        assert equal_up_to_phase(circ, lowered)
+
+    def test_cx_to_ion_trap_basis(self):
+        circ = Circuit(2).cx(0, 1)
+        lowered = decompose_to_basis(circ, BASIS_ION_TRAP)
+        names = {g.name for g in lowered}
+        assert names <= BASIS_ION_TRAP
+        assert "xx" in names
+        assert equal_up_to_phase(circ, lowered)
+
+    def test_full_circuit_to_ion_trap(self):
+        circ = Circuit(3).h(0).cx(0, 1).t(2).swap(1, 2).cz(0, 2)
+        lowered = decompose_to_basis(circ, BASIS_ION_TRAP)
+        assert {g.name for g in lowered} <= BASIS_ION_TRAP
+        assert equal_up_to_phase(circ, lowered)
+
+    @pytest.mark.parametrize("name,params", [
+        ("h", ()), ("t", ()), ("s", ()), ("sdg", ()), ("sx", ()), ("x", ()),
+        ("y", ()), ("z", ()), ("u2", (0.2, 0.9)), ("u3", (0.3, 0.5, 0.7)),
+    ])
+    def test_single_qubit_zyz_rewrite(self, name, params):
+        circ = Circuit(1).add(name, [0], params)
+        lowered = decompose_to_basis(circ, {"rx", "ry", "rz", "id"})
+        assert {g.name for g in lowered} <= {"rx", "ry", "rz", "id"}
+        assert equal_up_to_phase(circ, lowered)
+
+    def test_gates_already_in_basis_untouched(self):
+        circ = Circuit(2).cx(0, 1).rz(0.3, 0)
+        assert decompose_to_basis(circ, BASIS_IBM) == circ
+
+    def test_measure_and_barrier_pass_through(self):
+        circ = Circuit(1).h(0).barrier(0).measure(0)
+        lowered = decompose_to_basis(circ, BASIS_ION_TRAP)
+        names = [g.name for g in lowered]
+        assert "barrier" in names and "measure" in names
+
+    def test_decompose_swaps_preserves_routing_tag(self):
+        circ = Circuit(2)
+        circ.append(Gate("swap", (0, 1), tag="routing"))
+        lowered = decompose_swaps(circ)
+        assert [g.name for g in lowered] == ["cx", "cx", "cx"]
+        assert all(g.tag == "routing" for g in lowered)
+
+    def test_decompose_swaps_preserves_unitary(self):
+        circ = Circuit(3).h(0).swap(0, 2).cx(1, 2)
+        assert equal_up_to_phase(circ, decompose_swaps(circ))
+
+
+class TestPeepholeOptimisations:
+    def test_adjacent_self_inverses_cancel(self):
+        circ = Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1).x(1).x(1)
+        assert len(cancel_adjacent_inverses(circ)) == 0
+
+    def test_dagger_pairs_cancel(self):
+        circ = Circuit(1).s(0).sdg(0).t(0).tdg(0)
+        assert len(cancel_adjacent_inverses(circ)) == 0
+
+    def test_intervening_gate_on_other_qubit_does_not_block(self):
+        circ = Circuit(2).h(0).x(1).h(0)
+        assert [g.name for g in cancel_adjacent_inverses(circ)] == ["x"]
+
+    def test_intervening_gate_on_same_qubit_blocks(self):
+        circ = Circuit(1).h(0).t(0).h(0)
+        assert len(cancel_adjacent_inverses(circ)) == 3
+
+    def test_cx_pair_with_different_orientation_not_cancelled(self):
+        circ = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_inverses(circ)) == 2
+
+    def test_measure_blocks_cancellation(self):
+        circ = Circuit(1).h(0).measure(0).h(0)
+        assert len(cancel_adjacent_inverses(circ)) == 3
+
+    def test_merge_rotations_same_axis(self):
+        circ = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        merged = merge_rotations(circ)
+        assert len(merged) == 1
+        assert merged[0].params[0] == pytest.approx(0.7)
+
+    def test_merge_rotations_two_qubit(self):
+        circ = Circuit(2).rzz(0.3, 0, 1).rzz(0.2, 0, 1)
+        merged = merge_rotations(circ)
+        assert len(merged) == 1
+        assert merged[0].params[0] == pytest.approx(0.5)
+
+    def test_merge_blocked_by_intervening_gate(self):
+        circ = Circuit(1).rz(0.3, 0).h(0).rz(0.4, 0)
+        assert len(merge_rotations(circ)) == 3
+
+    def test_remove_trivial_gates(self):
+        circ = Circuit(1).rz(0.0, 0).add("id", [0]).rz(4 * math.pi, 0).rz(0.5, 0)
+        cleaned = remove_trivial_gates(circ)
+        assert [g.name for g in cleaned] == ["rz"]
+        assert cleaned[0].params[0] == pytest.approx(0.5)
+
+    def test_optimize_circuit_reaches_fixpoint(self):
+        circ = Circuit(2).h(0).h(0).rz(0.2, 1).rz(-0.2, 1).cx(0, 1).cx(0, 1)
+        assert len(optimize_circuit(circ)) == 0
+
+    @pytest.mark.parametrize("builder", [
+        lambda: Circuit(2).h(0).h(0).cx(0, 1).t(1).tdg(1).cx(0, 1),
+        lambda: Circuit(3).ccx(0, 1, 2).rz(0.1, 0).rz(0.2, 0),
+        lambda: qft(3),
+    ])
+    def test_optimisation_preserves_semantics(self, builder):
+        circ = builder()
+        assert equal_up_to_phase(circ, optimize_circuit(circ))
+
+    def test_optimisation_is_idempotent(self):
+        circ = Circuit(2).h(0).h(0).cx(0, 1).rz(0.1, 1).rz(0.2, 1)
+        once = optimize_circuit(circ)
+        twice = optimize_circuit(once)
+        assert once == twice
+
+
+class TestTranspilePipeline:
+    def test_transpile_defaults(self):
+        result = transpile(qft(5), get_device("ibm_q20_tokyo"))
+        assert result.verified
+        assert result.equivalence_checked
+        assert result.weighted_depth > 0
+        assert result.summary()["router"] == "codar"
+
+    def test_transpile_to_ion_trap_basis(self):
+        result = transpile(qft(4), get_device("line", num_qubits=4),
+                           basis=BASIS_ION_TRAP)
+        gate_names = {g.name for g in result.compiled if not g.is_measure}
+        assert gate_names <= BASIS_ION_TRAP
+        assert result.verified
+
+    def test_transpile_with_sabre(self):
+        from repro.mapping.sabre.remapper import SabreRouter
+        result = transpile(qft(5), get_device("ibm_q20_tokyo"), router=SabreRouter())
+        assert result.routing.router_name == "sabre"
+        assert result.verified
+
+    def test_transpile_without_optimisation_or_verification(self):
+        result = transpile(qft(4), get_device("grid", rows=2, cols=2),
+                           optimize=False, verify=False)
+        assert result.verified  # trivially true when not checked
+        assert not result.equivalence_checked
+
+    def test_transpile_respects_given_layout(self):
+        from repro.mapping.layout import Layout
+        layout = Layout.identity(20)
+        result = transpile(qft(5), get_device("ibm_q20_tokyo"),
+                           initial_layout=layout)
+        assert result.routing.initial_layout == layout

@@ -1,0 +1,69 @@
+"""Tests for the embedded OpenQASM corpus: parsing, routing, semantics."""
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.sabre.remapper import SabreRouter
+from repro.mapping.verification import verify_routing
+from repro.qasm.exporter import circuit_to_qasm
+from repro.qasm.parser import parse_qasm
+from repro.sim.sampling import hellinger_fidelity, probabilities_over_cbits
+from repro.workloads.qasm_corpus import CORPUS, corpus_names, load, load_all
+
+
+class TestCorpusParsing:
+    def test_every_program_parses(self):
+        circuits = load_all()
+        assert len(circuits) == len(CORPUS)
+        assert all(len(c) > 0 for c in circuits)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load("does_not_exist")
+
+    def test_register_flattening(self):
+        circuit = load("revlib_majority")
+        # cin[1] + a[2] + b[2] + cout[1] physical registers flatten to 6 qubits.
+        assert circuit.num_qubits == 6
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_custom_gate_definitions_are_inlined(self):
+        circuit = load("revlib_majority")
+        names = set(circuit.count_ops())
+        assert "maj" not in names and "uma" not in names
+        assert "cx" in names
+
+    def test_register_wide_operations_expand(self):
+        circuit = load("grover3_qiskit")
+        # `h q;` on a 3-qubit register expands to three H gates per occurrence.
+        assert circuit.count_ops()["h"] >= 9
+
+    def test_barriers_survive_parsing(self):
+        circuit = load("teleport_quipper")
+        assert circuit.count_ops()["barrier"] == 2
+
+    def test_roundtrip_through_exporter(self):
+        for name in corpus_names():
+            circuit = load(name)
+            reparsed = parse_qasm(circuit_to_qasm(circuit))
+            assert len(reparsed) == len(circuit)
+            assert reparsed.num_qubits == circuit.num_qubits
+
+
+class TestCorpusRouting:
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_corpus_routes_and_verifies_on_q20(self, name):
+        circuit = load(name)
+        device = get_device("ibm_q20_tokyo")
+        result = CodarRouter().run(circuit, device)
+        verify_routing(result, check_semantics=circuit.num_qubits <= 8)
+
+    def test_measured_distributions_survive_routing(self):
+        circuit = load("bell_measure")
+        device = get_device("ibm_q16_melbourne")
+        for router in (CodarRouter(), SabreRouter()):
+            routed = router.run(circuit, device).routed
+            fidelity = hellinger_fidelity(probabilities_over_cbits(circuit),
+                                          probabilities_over_cbits(routed))
+            assert fidelity == pytest.approx(1.0)

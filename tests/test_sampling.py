@@ -1,0 +1,117 @@
+"""Tests for shot sampling and count-distribution comparison."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.noise import NoiseModel
+from repro.sim.sampling import (counts_from_density, hellinger_fidelity,
+                                probabilities_over_cbits, sample_counts,
+                                total_variation_distance)
+from repro.workloads import generators as gen
+
+
+class TestProbabilitiesOverCbits:
+    def test_bell_pair_probabilities(self):
+        circuit = Circuit(2).h(0).cx(0, 1).measure_all()
+        probabilities = probabilities_over_cbits(circuit)
+        assert probabilities["00"] == pytest.approx(0.5)
+        assert probabilities["11"] == pytest.approx(0.5)
+        assert set(probabilities) == {"00", "11"}
+
+    def test_unmeasured_qubits_are_traced_out(self):
+        circuit = Circuit(2).h(1).x(0)
+        circuit.measure(0, 0)
+        probabilities = probabilities_over_cbits(circuit)
+        assert probabilities == {"1": pytest.approx(1.0)}
+
+    def test_measurement_map_respects_classical_targets(self):
+        # Measure qubit 0 into classical bit 1 and qubit 1 into bit 0.
+        circuit = Circuit(2).x(0)
+        circuit.measure(0, 1)
+        circuit.measure(1, 0)
+        probabilities = probabilities_over_cbits(circuit)
+        assert probabilities == {"10": pytest.approx(1.0)}
+
+    def test_circuit_without_measurements_measures_everything(self):
+        circuit = Circuit(2).x(1)
+        probabilities = probabilities_over_cbits(circuit)
+        assert probabilities == {"10": pytest.approx(1.0)}
+
+
+class TestSampleCounts:
+    def test_counts_sum_to_shots(self):
+        circuit = gen.ghz(3)
+        circuit.measure_all()
+        counts = sample_counts(circuit, shots=500, seed=7)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"000", "111"}
+
+    def test_deterministic_with_seed(self):
+        circuit = gen.qft(3)
+        circuit.measure_all()
+        assert sample_counts(circuit, shots=200, seed=3) == \
+            sample_counts(circuit, shots=200, seed=3)
+
+    def test_rejects_non_positive_shots(self):
+        with pytest.raises(ValueError):
+            sample_counts(Circuit(1).h(0), shots=0)
+
+    def test_routed_circuit_reproduces_logical_counts(self):
+        """Sampling the routed circuit gives the same distribution as the original."""
+        circuit = gen.ghz(4)
+        circuit.measure_all()
+        device = get_device("ibm_q16_melbourne")
+        routed = CodarRouter().run(circuit, device).routed
+        original = probabilities_over_cbits(circuit)
+        after_routing = probabilities_over_cbits(routed)
+        assert hellinger_fidelity(original, after_routing) == pytest.approx(1.0)
+
+
+class TestDensityCounts:
+    def test_exact_distribution_from_density_matrix(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        rho = DensityMatrixSimulator(NoiseModel.noiseless()).run(
+            circuit, {"h": 1, "cx": 2})
+        distribution = counts_from_density(rho, 2)
+        assert distribution["00"] == pytest.approx(0.5)
+        assert distribution["11"] == pytest.approx(0.5)
+
+    def test_sampled_shots_from_density_matrix(self):
+        circuit = Circuit(1).h(0)
+        rho = DensityMatrixSimulator().run(circuit, {"h": 1})
+        counts = counts_from_density(rho, 1, shots=100, seed=5)
+        assert isinstance(counts, Counter)
+        assert sum(counts.values()) == 100
+
+
+class TestDistributionDistances:
+    def test_identical_distributions(self):
+        counts = {"00": 512, "11": 512}
+        assert hellinger_fidelity(counts, counts) == pytest.approx(1.0)
+        assert total_variation_distance(counts, counts) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        a, b = {"00": 10}, {"11": 10}
+        assert hellinger_fidelity(a, b) == pytest.approx(0.0)
+        assert total_variation_distance(a, b) == pytest.approx(1.0)
+
+    def test_known_intermediate_value(self):
+        a = {"0": 1, "1": 1}
+        b = {"0": 1}
+        assert hellinger_fidelity(a, b) == pytest.approx(0.5)
+        assert total_variation_distance(a, b) == pytest.approx(0.5)
+
+    def test_normalisation_is_scale_invariant(self):
+        a = {"0": 3, "1": 1}
+        b = {"0": 300, "1": 100}
+        assert hellinger_fidelity(a, b) == pytest.approx(1.0)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            hellinger_fidelity({}, {"0": 1})

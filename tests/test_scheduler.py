@@ -1,0 +1,111 @@
+"""Tests for ASAP scheduling and weighted depth."""
+
+import pytest
+
+from repro.arch.durations import GateDurationMap
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.sim.scheduler import asap_schedule, critical_path, weighted_depth
+
+DUR = GateDurationMap(single=1, two=2, swap=6)
+
+
+class TestAsapSchedule:
+    def test_empty_circuit(self):
+        schedule = asap_schedule(Circuit(2), DUR)
+        assert schedule.makespan == 0
+        assert schedule.gates == []
+
+    def test_serial_chain(self):
+        circ = Circuit(1).h(0).t(0)
+        schedule = asap_schedule(circ, DUR)
+        assert [(sg.start, sg.finish) for sg in schedule.gates] == [(0, 1), (1, 2)]
+        assert schedule.makespan == 2
+
+    def test_parallel_gates_overlap(self):
+        circ = Circuit(2).h(0).h(1)
+        schedule = asap_schedule(circ, DUR)
+        assert schedule.makespan == 1
+        assert all(sg.start == 0 for sg in schedule.gates)
+
+    def test_two_qubit_gate_waits_for_both_operands(self):
+        circ = Circuit(2).t(0).cx(0, 1)
+        schedule = asap_schedule(circ, DUR)
+        cx = schedule.gates[1]
+        assert cx.start == 1 and cx.finish == 3
+
+    def test_duration_difference_enables_early_start(self):
+        # The Fig. 2 scenario: T finishes at 1 while CX runs until 2, so a
+        # gate needing only the T qubit can start at cycle 1.
+        circ = Circuit(4).t(1).cx(0, 2).swap(1, 3)
+        schedule = asap_schedule(circ, DUR)
+        swap = schedule.gates[2]
+        assert swap.start == 1
+
+    def test_barrier_synchronises(self):
+        circ = Circuit(2).h(0)
+        circ.barrier(0, 1)
+        circ.h(1)
+        schedule = asap_schedule(circ, DUR)
+        assert schedule.gates[-1].start == 1
+
+    def test_weighted_depth_shorthand(self):
+        circ = Circuit(2).cx(0, 1).swap(0, 1)
+        assert weighted_depth(circ, DUR) == 8
+
+    def test_accepts_plain_gate_sequence(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        schedule = asap_schedule(gates, DUR)
+        assert schedule.makespan == 3
+        assert schedule.num_qubits == 2
+
+    def test_accepts_plain_dict_durations(self):
+        circ = Circuit(1).h(0)
+        assert weighted_depth(circ, {"h": 7}) == 7
+
+    def test_unknown_gate_with_dict_durations_raises(self):
+        circ = Circuit(1).h(0)
+        with pytest.raises(KeyError):
+            weighted_depth(circ, {"t": 1})
+
+    def test_weighted_vs_unweighted_depth(self):
+        # Same depth, different weighted depth, the core argument of the paper.
+        fast = Circuit(2).t(0).t(1)
+        slow = Circuit(2).cx(0, 1)
+        assert fast.depth() == 1 and slow.depth() == 1
+        assert weighted_depth(fast, DUR) == 1
+        assert weighted_depth(slow, DUR) == 2
+
+
+class TestScheduleStatistics:
+    def test_busy_and_idle_time(self):
+        circ = Circuit(2).cx(0, 1).t(0)
+        schedule = asap_schedule(circ, DUR)
+        assert schedule.busy_time(0) == 3
+        assert schedule.busy_time(1) == 2
+        assert schedule.idle_time(1) == 1
+
+    def test_parallelism_metric(self):
+        parallel = asap_schedule(Circuit(3).h(0).h(1).h(2), DUR)
+        serial = asap_schedule(Circuit(1).h(0).t(0).s(0), DUR)
+        assert parallel.parallelism() == pytest.approx(3.0)
+        assert serial.parallelism() == pytest.approx(1.0)
+
+    def test_gates_at_instant(self):
+        circ = Circuit(2).cx(0, 1)
+        schedule = asap_schedule(circ, DUR)
+        assert len(schedule.gates_at(1.0)) == 1
+        assert schedule.gates_at(2.0) == []
+
+    def test_as_rows(self):
+        rows = asap_schedule(Circuit(1).h(0), DUR).as_rows()
+        assert rows == [{"gate": "h", "qubits": (0,), "start": 0.0, "finish": 1.0}]
+
+    def test_critical_path_spans_makespan(self):
+        circ = Circuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+        schedule = asap_schedule(circ, DUR)
+        chain = critical_path(schedule)
+        assert chain[0].start == 0
+        assert chain[-1].finish == schedule.makespan
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.finish <= later.start

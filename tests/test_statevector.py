@@ -1,0 +1,118 @@
+"""Tests for the state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.unitary import circuit_unitary
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    random_product_state,
+    state_fidelity,
+    zero_state,
+)
+
+
+SIM = StatevectorSimulator()
+
+
+class TestBasics:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state.shape == (8,)
+        assert state[0] == 1.0
+
+    def test_empty_circuit_is_identity(self):
+        assert np.allclose(SIM.run(Circuit(2)), zero_state(2))
+
+    def test_x_flips_qubit(self):
+        state = SIM.run(Circuit(2).x(0))
+        assert np.allclose(state, [0, 1, 0, 0])
+        state = SIM.run(Circuit(2).x(1))
+        assert np.allclose(state, [0, 0, 1, 0])
+
+    def test_bell_state(self):
+        state = SIM.run(Circuit(2).h(0).cx(0, 1))
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ghz_state(self):
+        from repro.workloads import ghz
+        state = SIM.run(ghz(4))
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[-1]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_swap_gate_exchanges_amplitudes(self):
+        circ = Circuit(2).x(0).swap(0, 1)
+        assert np.allclose(SIM.run(circ), [0, 0, 1, 0])
+
+    def test_measurement_and_barrier_ignored(self):
+        circ = Circuit(1).h(0).barrier(0).measure(0)
+        assert np.allclose(SIM.run(circ), SIM.run(Circuit(1).h(0)))
+
+    def test_rejects_oversized_circuits(self):
+        simulator = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(ValueError):
+            simulator.run(Circuit(4))
+
+    def test_initial_state_dimension_checked(self):
+        with pytest.raises(ValueError):
+            SIM.run(Circuit(2), initial_state=np.ones(3, dtype=complex))
+
+    def test_three_qubit_gate_rejected(self):
+        from repro.core.gates import Gate, GateSpec
+        spec = GateSpec("ghost", num_qubits=3)
+        gate = Gate("ghost", (0, 1, 2), spec=spec)
+        with pytest.raises(ValueError):
+            StatevectorSimulator.apply_gate(zero_state(3), gate, 3)
+
+
+class TestAgainstFullUnitary:
+    @pytest.mark.parametrize("builder", [
+        lambda: Circuit(2).h(0).cx(0, 1).t(1).cx(1, 0),
+        lambda: Circuit(3).h(0).cx(0, 2).rz(0.3, 2).swap(0, 1).cz(1, 2),
+        lambda: Circuit(3).u3(0.1, 0.2, 0.3, 0).cx(2, 0).ry(0.7, 1).cu1(0.4, 0, 2),
+        lambda: Circuit(4).h(3).cx(3, 0).rzz(0.5, 1, 2).cx(0, 2),
+    ])
+    def test_simulator_matches_dense_unitary(self, builder):
+        circuit = builder()
+        rng = np.random.default_rng(42)
+        state = random_product_state(circuit.num_qubits, rng)
+        via_simulator = SIM.run(circuit, initial_state=state.copy())
+        via_unitary = circuit_unitary(circuit) @ state
+        assert np.allclose(via_simulator, via_unitary)
+
+    def test_qft_matches_unitary(self):
+        from repro.workloads import qft
+        circuit = qft(4)
+        state = SIM.run(circuit)
+        expected = circuit_unitary(circuit) @ zero_state(4)
+        assert np.allclose(state, expected)
+
+
+class TestUtilities:
+    def test_random_product_state_normalised(self):
+        rng = np.random.default_rng(7)
+        state = random_product_state(5, rng)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_probabilities_sum_to_one(self):
+        probabilities = SIM.probabilities(Circuit(3).h(0).cx(0, 1).h(2))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_expectation_z(self):
+        assert SIM.expectation_z(Circuit(1), 0) == pytest.approx(1.0)
+        assert SIM.expectation_z(Circuit(1).x(0), 0) == pytest.approx(-1.0)
+        assert SIM.expectation_z(Circuit(1).h(0), 0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_state_fidelity(self):
+        a = zero_state(2)
+        b = SIM.run(Circuit(2).x(0))
+        assert state_fidelity(a, a) == pytest.approx(1.0)
+        assert state_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_fidelity_invariant_under_global_phase(self):
+        a = zero_state(1)
+        assert state_fidelity(a, np.exp(1j * 0.7) * a) == pytest.approx(1.0)

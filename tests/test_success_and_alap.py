@@ -1,0 +1,157 @@
+"""Tests for the ESP estimator (`repro.sim.success`) and ALAP scheduling."""
+
+import math
+
+import pytest
+
+from repro.arch.calibration import TABLE_I, DeviceCalibration
+from repro.arch.devices import get_device
+from repro.arch.durations import GateDurationMap, Technology
+from repro.core.circuit import Circuit
+from repro.mapping.codar.remapper import CodarRouter
+from repro.sim.scheduler import alap_schedule, asap_schedule
+from repro.sim.success import compare_success, estimate_success
+from repro.workloads import generators as gen
+
+DUR = GateDurationMap(single=1, two=2, swap=6)
+Q20 = TABLE_I["ibm_q20"]
+
+
+# --------------------------------------------------------------------------- #
+# ALAP scheduling
+# --------------------------------------------------------------------------- #
+class TestAlapSchedule:
+    def test_same_makespan_as_asap(self):
+        for circuit in (gen.qft(5), gen.ghz(6), gen.random_circuit(6, 80, seed=1)):
+            asap = asap_schedule(circuit, DUR)
+            alap = alap_schedule(circuit, DUR)
+            assert alap.makespan == asap.makespan
+
+    def test_no_gate_starts_before_zero(self):
+        circuit = gen.random_circuit(5, 60, seed=4)
+        alap = alap_schedule(circuit, DUR)
+        assert all(sg.start >= 0 for sg in alap.gates)
+
+    def test_per_qubit_order_and_no_overlap(self):
+        circuit = gen.random_circuit(6, 100, seed=9)
+        alap = alap_schedule(circuit, DUR)
+        per_qubit: dict[int, list] = {}
+        for sg in alap.gates:
+            for q in sg.gate.qubits:
+                per_qubit.setdefault(q, []).append((sg.start, sg.finish))
+        for intervals in per_qubit.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert f1 <= s2
+
+    def test_gates_pushed_late(self):
+        """A lone leading gate should move to the end of the schedule under ALAP."""
+        circuit = Circuit(2).h(0).cx(1, 1 - 1)  # h(0); cx(1, 0)
+        # Use a circuit where qubit 1 idles first: h(1) at time 0 under ASAP,
+        # but ALAP can delay it until just before the CX.
+        circuit = Circuit(3)
+        circuit.h(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        asap = asap_schedule(circuit, DUR)
+        alap = alap_schedule(circuit, DUR)
+        h_asap = next(sg for sg in asap.gates if sg.gate.name == "h")
+        h_alap = next(sg for sg in alap.gates if sg.gate.name == "h")
+        assert h_alap.start > h_asap.start
+
+    def test_durations_preserved(self):
+        circuit = gen.qft(4)
+        alap = alap_schedule(circuit, DUR)
+        for sg in alap.gates:
+            if not sg.gate.is_barrier:
+                assert sg.duration == DUR.duration_of(sg.gate)
+
+    def test_empty_circuit(self):
+        alap = alap_schedule(Circuit(3), DUR)
+        assert alap.makespan == 0 and alap.gates == []
+
+    def test_barrier_synchronises(self):
+        circuit = Circuit(2).h(0)
+        circuit.barrier()
+        circuit.h(1)
+        alap = alap_schedule(circuit, DUR)
+        first_h = next(sg for sg in alap.gates if sg.gate.qubits == (0,))
+        second_h = next(sg for sg in alap.gates if sg.gate.qubits == (1,))
+        assert first_h.finish <= second_h.start + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Estimated success probability
+# --------------------------------------------------------------------------- #
+class TestEstimateSuccess:
+    def test_probability_in_unit_interval(self):
+        circuit = gen.qft(5)
+        estimate = estimate_success(circuit, Q20)
+        assert 0.0 < estimate.probability <= 1.0
+
+    def test_perfect_calibration_gives_probability_one(self):
+        perfect = DeviceCalibration(
+            name="perfect", technology=Technology.SUPERCONDUCTING, num_qubits=8,
+            one_qubit_gates=("x",), two_qubit_gates=("cx",),
+            fidelity_1q=1.0, fidelity_2q=1.0, readout_fidelity=1.0,
+            duration_1q_ns=100.0, duration_2q_ns=200.0,
+            t1_ns=math.inf, t2_ns=math.inf)
+        estimate = estimate_success(gen.ghz(5), perfect)
+        assert estimate.probability == pytest.approx(1.0)
+
+    def test_more_gates_lower_probability(self):
+        small = estimate_success(gen.ghz(4), Q20)
+        large = estimate_success(gen.random_circuit(4, 200, seed=3), Q20)
+        assert large.probability < small.probability
+
+    def test_swap_counts_as_three_cx(self):
+        plain = Circuit(4).cx(0, 1)
+        with_swap = Circuit(4).cx(0, 1).swap(2, 3)
+        a = estimate_success(plain, Q20)
+        b = estimate_success(with_swap, Q20)
+        assert b.num_two_qubit_gates == a.num_two_qubit_gates + 3
+        assert b.gate_fidelity_product == pytest.approx(
+            a.gate_fidelity_product * Q20.fidelity_2q ** 3)
+
+    def test_measurements_use_readout_fidelity(self):
+        circuit = Circuit(3).h(0).measure_all()
+        estimate = estimate_success(circuit, Q20)
+        assert estimate.num_measurements == 3
+        assert estimate.readout_factor == pytest.approx(Q20.readout_fidelity ** 3)
+
+    def test_longer_schedule_decoheres_more(self):
+        fast = GateDurationMap(single=1, two=2, swap=6)
+        slow = GateDurationMap(single=10, two=20, swap=60)
+        circuit = gen.qft(5)
+        estimate_fast = estimate_success(circuit, Q20, durations=fast)
+        estimate_slow = estimate_success(circuit, Q20, durations=slow)
+        assert estimate_slow.decoherence_factor < estimate_fast.decoherence_factor
+
+    def test_infinite_coherence_means_no_decay(self):
+        ion = TABLE_I["ion_q5"]  # T1 = inf in Table I
+        circuit = gen.ghz(4)
+        estimate = estimate_success(circuit, ion)
+        assert estimate.decoherence_factor <= 1.0
+        assert estimate.probability > 0.0
+
+    def test_breakdown_row_keys(self):
+        row = estimate_success(gen.ghz(3), Q20).as_row()
+        assert {"esp", "gate_product", "decoherence", "readout"} <= set(row)
+
+    def test_compare_success_reports_router_names(self):
+        device = get_device("ibm_q20_tokyo")
+        circuit = gen.qft(5)
+        result = CodarRouter().run(circuit, device)
+        rows = compare_success([result], Q20)
+        assert rows[0]["router"] == "codar"
+        assert 0.0 < rows[0]["esp"] <= 1.0
+
+    def test_routed_circuit_has_lower_esp_than_logical(self):
+        """Routing adds SWAPs and stretches the schedule, so ESP must drop."""
+        device = get_device("ibm_q16_melbourne")
+        circuit = gen.qft(6)
+        result = CodarRouter().run(circuit, device)
+        logical = estimate_success(circuit, Q20)
+        routed = estimate_success(result.routed, Q20)
+        if result.swap_count > 0:
+            assert routed.probability < logical.probability

@@ -1,0 +1,126 @@
+"""Unit tests for exact gate unitaries (repro.core.unitary)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.gates import GATE_SET, Gate
+from repro.core.unitary import (
+    circuit_unitary,
+    expand_to,
+    gate_unitary,
+    matrices_commute,
+)
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    dim = matrix.shape[0]
+    return np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+
+PARAMETRIC_DEFAULTS = {
+    "rx": (0.3,), "ry": (0.7,), "rz": (1.1,), "p": (0.4,), "u1": (0.5,),
+    "u2": (0.2, 0.9), "u3": (0.3, 0.5, 0.7), "u": (0.3, 0.5, 0.7),
+    "crx": (0.3,), "cry": (0.4,), "crz": (0.6,), "cp": (0.8,),
+    "cu1": (0.9,), "cu3": (0.2, 0.4, 0.6),
+    "rxx": (0.5,), "ryy": (0.6,), "rzz": (0.7,),
+}
+
+
+class TestGateUnitaries:
+    @pytest.mark.parametrize("name", [
+        n for n, s in GATE_SET.items()
+        if n not in ("measure", "reset", "barrier")
+    ])
+    def test_every_gate_matrix_is_unitary(self, name):
+        spec = GATE_SET[name]
+        params = PARAMETRIC_DEFAULTS.get(name, tuple(0.1 for _ in range(spec.num_params)))
+        gate = Gate(name, tuple(range(spec.num_qubits)), params)
+        matrix = gate_unitary(gate)
+        assert matrix.shape == (1 << spec.num_qubits,) * 2
+        assert _is_unitary(matrix)
+
+    def test_non_unitary_instructions_raise(self):
+        with pytest.raises(ValueError):
+            gate_unitary(Gate("measure", (0,)))
+        with pytest.raises(ValueError):
+            gate_unitary(Gate("barrier", ()))
+
+    def test_pauli_algebra(self):
+        x = gate_unitary(Gate("x", (0,)))
+        y = gate_unitary(Gate("y", (0,)))
+        z = gate_unitary(Gate("z", (0,)))
+        assert np.allclose(x @ y, 1j * z)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        h = gate_unitary(Gate("h", (0,)))
+        x = gate_unitary(Gate("x", (0,)))
+        z = gate_unitary(Gate("z", (0,)))
+        assert np.allclose(h @ x @ h, z)
+
+    def test_t_squared_is_s(self):
+        t = gate_unitary(Gate("t", (0,)))
+        s = gate_unitary(Gate("s", (0,)))
+        assert np.allclose(t @ t, s)
+
+    def test_cx_little_endian_convention(self):
+        # Control is gate.qubits[0] = least-significant bit of the index.
+        cx = gate_unitary(Gate("cx", (0, 1)))
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # |q1=0, q0=1>  (control set)
+        out = cx @ state
+        assert np.allclose(out, [0, 0, 0, 1])  # target flipped -> |11>
+
+    def test_swap_matrix(self):
+        swap = gate_unitary(Gate("swap", (0, 1)))
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        assert np.allclose(swap @ state, [0, 0, 1, 0])
+
+    def test_rz_u1_differ_only_by_phase(self):
+        angle = 0.77
+        rz = gate_unitary(Gate("rz", (0,), (angle,)))
+        u1 = gate_unitary(Gate("u1", (0,), (angle,)))
+        phase = np.exp(1j * angle / 2)
+        assert np.allclose(phase * rz, u1)
+
+    def test_rotation_composition(self):
+        a, b = 0.3, 0.9
+        composed = gate_unitary(Gate("rx", (0,), (a + b,)))
+        product = gate_unitary(Gate("rx", (0,), (a,))) @ gate_unitary(Gate("rx", (0,), (b,)))
+        assert np.allclose(composed, product)
+
+
+class TestExpansion:
+    def test_expand_single_qubit_to_two(self):
+        x = gate_unitary(Gate("x", (0,)))
+        full = expand_to(x, (1,), 2)
+        # X on qubit 1: |00> -> |10> (index 0 -> 2)
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        assert np.allclose(full @ state, [0, 0, 1, 0])
+
+    def test_expand_preserves_unitarity(self):
+        cx = gate_unitary(Gate("cx", (0, 1)))
+        full = expand_to(cx, (2, 0), 3)
+        assert _is_unitary(full)
+
+    def test_circuit_unitary_bell(self):
+        circ = Circuit(2).h(0).cx(0, 1)
+        u = circuit_unitary(circ)
+        state = u @ np.array([1, 0, 0, 0], dtype=complex)
+        expected = np.array([1, 0, 0, 1], dtype=complex) / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_circuit_unitary_rejects_large_circuits(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(13))
+
+    def test_matrices_commute(self):
+        z = gate_unitary(Gate("z", (0,)))
+        s = gate_unitary(Gate("s", (0,)))
+        x = gate_unitary(Gate("x", (0,)))
+        assert matrices_commute(z, s)
+        assert not matrices_commute(z, x)

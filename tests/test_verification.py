@@ -1,0 +1,116 @@
+"""Tests for routing verification itself (it must catch broken routings)."""
+
+import pytest
+
+from repro.arch.devices import get_device
+from repro.core.circuit import Circuit
+from repro.core.gates import Gate
+from repro.mapping.base import RoutingResult
+from repro.mapping.codar.remapper import CodarRouter
+from repro.mapping.layout import Layout
+from repro.mapping.verification import (
+    check_coupling_compliance,
+    check_equivalence,
+    verify_routing,
+)
+
+
+def _fake_result(original, routed, device, initial=None, final=None):
+    initial = initial or Layout.identity(device.num_qubits)
+    final = final or initial.copy()
+    return RoutingResult(
+        router_name="fake", original=original, routed=routed, device=device,
+        initial_layout=initial, final_layout=final, swap_count=0,
+        weighted_depth=0.0, depth=routed.depth(),
+    )
+
+
+class TestCouplingCompliance:
+    def test_accepts_compliant_circuit(self):
+        device = get_device("line", num_qubits=3)
+        circ = Circuit(3).cx(0, 1).cx(1, 2)
+        assert check_coupling_compliance(_fake_result(circ, circ, device)) == []
+
+    def test_flags_noncoupled_pair(self):
+        device = get_device("line", num_qubits=3)
+        routed = Circuit(3).cx(0, 2)
+        violations = check_coupling_compliance(_fake_result(routed, routed, device))
+        assert len(violations) == 1
+        assert "(0, 2)" in violations[0]
+
+    def test_single_qubit_gates_ignored(self):
+        device = get_device("line", num_qubits=2)
+        routed = Circuit(2).h(0).h(1)
+        assert check_coupling_compliance(_fake_result(routed, routed, device)) == []
+
+
+class TestEquivalence:
+    def test_detects_wrong_gate(self):
+        device = get_device("line", num_qubits=2)
+        original = Circuit(2).h(0).cx(0, 1)
+        wrong = Circuit(2).h(0).cx(1, 0)  # control/target flipped
+        assert not check_equivalence(_fake_result(original, wrong, device))
+
+    def test_detects_missing_gate(self):
+        device = get_device("line", num_qubits=2)
+        original = Circuit(2).h(0).cx(0, 1)
+        missing = Circuit(2).h(0)
+        assert not check_equivalence(_fake_result(original, missing, device))
+
+    def test_accepts_commuting_reorder(self):
+        device = get_device("line", num_qubits=3)
+        original = Circuit(3).cx(0, 1).t(2)
+        reordered = Circuit(3).t(2).cx(0, 1)
+        assert check_equivalence(_fake_result(original, reordered, device))
+
+    def test_accepts_valid_swap_folding(self):
+        device = get_device("line", num_qubits=3)
+        original = Circuit(3).cx(0, 2)
+        routed = Circuit(3)
+        routed.append(Gate("swap", (0, 1), tag="routing"))
+        routed.cx(1, 2)
+        assert check_equivalence(_fake_result(original, routed, device))
+
+    def test_rejects_untagged_swap_that_changes_semantics(self):
+        device = get_device("line", num_qubits=3)
+        original = Circuit(3).cx(0, 2)
+        routed = Circuit(3).swap(0, 1).cx(1, 2)  # program swap: extra unitary
+        assert not check_equivalence(_fake_result(original, routed, device))
+
+    def test_respects_initial_layout(self):
+        device = get_device("line", num_qubits=2)
+        original = Circuit(2).x(0)
+        # With layout {logical0 -> physical1}, the routed X must act on phys 1.
+        layout = Layout([1, 0])
+        good = Circuit(2).x(1)
+        bad = Circuit(2).x(0)
+        assert check_equivalence(_fake_result(original, good, device, initial=layout))
+        assert not check_equivalence(_fake_result(original, bad, device, initial=layout))
+
+    def test_too_large_circuit_rejected(self):
+        device = get_device("grid", rows=4, cols=4)
+        original = Circuit(13)
+        with pytest.raises(ValueError):
+            check_equivalence(_fake_result(original, original, device))
+
+
+class TestVerifyRouting:
+    def test_passes_on_real_routing(self):
+        device = get_device("grid", rows=2, cols=3)
+        circ = Circuit(5).h(0).cx(0, 4).cx(1, 3).t(2).cx(2, 4)
+        verify_routing(CodarRouter().run(circ, device))
+
+    def test_raises_on_violation(self):
+        device = get_device("line", num_qubits=3)
+        original = Circuit(3).cx(0, 2)
+        with pytest.raises(AssertionError, match="coupling violations"):
+            verify_routing(_fake_result(original, original, device))
+
+    def test_semantics_skippable(self):
+        device = get_device("line", num_qubits=3)
+        original = Circuit(3).cx(0, 1)
+        wrong = Circuit(3).cx(1, 2)
+        # Coupling is fine, semantics is wrong, but the check is skipped.
+        verify_routing(_fake_result(original, wrong, device), check_semantics=False)
+        with pytest.raises(AssertionError, match="not equivalent"):
+            verify_routing(_fake_result(original, wrong, device), check_semantics=True)

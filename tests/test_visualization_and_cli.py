@@ -1,0 +1,156 @@
+"""Tests for the ASCII visualisation helpers and the command-line interface."""
+
+import pytest
+
+from repro.arch.durations import GateDurationMap
+from repro.cli import build_parser, main
+from repro.core.circuit import Circuit
+from repro.sim.scheduler import asap_schedule
+from repro.visualization import draw_circuit, draw_schedule
+
+DUR = GateDurationMap(single=1, two=2, swap=6)
+
+
+class TestDrawCircuit:
+    def test_empty_register(self):
+        assert draw_circuit(Circuit(0)) == "(empty circuit)"
+
+    def test_single_qubit_gates_on_wire(self):
+        text = draw_circuit(Circuit(2).h(0).t(1))
+        lines = text.splitlines()
+        assert lines[0].startswith("q0")
+        assert "H" in lines[0]
+        assert "T" in lines[1]
+
+    def test_two_qubit_gate_connects_wires(self):
+        text = draw_circuit(Circuit(3).cx(0, 2))
+        lines = text.splitlines()
+        assert "*" in lines[0]
+        assert "|" in lines[1]
+        assert "CX" in lines[2]
+
+    def test_measure_rendered_as_m(self):
+        assert "M" in draw_circuit(Circuit(1).measure(0))
+
+    def test_barrier_rendered(self):
+        text = draw_circuit(Circuit(2).h(0).barrier(0, 1).h(1))
+        assert "‖" in text
+
+    def test_long_circuit_truncated(self):
+        circ = Circuit(1)
+        for _ in range(200):
+            circ.h(0)
+        text = draw_circuit(circ, max_columns=60)
+        assert all(len(line) <= 70 for line in text.splitlines())
+        assert "..." in text
+
+
+class TestDrawSchedule:
+    def test_empty_schedule(self):
+        assert draw_schedule(asap_schedule(Circuit(1), DUR)) == "(empty schedule)"
+
+    def test_gate_symbols_and_makespan(self):
+        schedule = asap_schedule(Circuit(2).cx(0, 1).t(0), DUR)
+        text = draw_schedule(schedule)
+        assert "makespan = 3" in text
+        assert "C" in text and "T" in text
+
+    def test_durations_visible_as_box_lengths(self):
+        schedule = asap_schedule(Circuit(2).swap(0, 1), DUR)
+        text = draw_schedule(schedule)
+        first_row = text.splitlines()[0]
+        assert first_row.count("S") == 6  # a SWAP occupies six cycles
+
+    def test_truncation_noted(self):
+        circ = Circuit(1)
+        for _ in range(500):
+            circ.h(0)
+        text = draw_schedule(asap_schedule(circ, DUR), max_columns=50)
+        assert "truncated" in text
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_devices_command(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm_q20_tokyo" in out
+        assert "google_sycamore54" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Ion Q5" in capsys.readouterr().out
+
+    def test_route_command_roundtrip(self, tmp_path, capsys):
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[2];\nmeasure q -> c;\n"
+        )
+        output = tmp_path / "routed.qasm"
+        code = main(["route", str(qasm), "--device", "ibm_q16_melbourne",
+                     "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert text.startswith("OPENQASM 2.0;")
+        captured = capsys.readouterr()
+        assert "weighted depth" in captured.err
+
+    def test_route_command_sabre_to_stdout(self, tmp_path, capsys):
+        qasm = tmp_path / "pair.qasm"
+        qasm.write_text("qreg q[2];\ncx q[0],q[1];\n")
+        code = main(["route", str(qasm), "--device", "ibm_q20_tokyo",
+                     "--router", "sabre"])
+        assert code == 0
+        assert "cx" in capsys.readouterr().out
+
+    def test_speedup_parser_options(self):
+        args = build_parser().parse_args(["speedup", "--arch", "ibm_q20_tokyo",
+                                          "--detailed"])
+        assert args.arch == ["ibm_q20_tokyo"]
+        assert args.detailed and not args.full
+
+    def test_fidelity_parser(self):
+        args = build_parser().parse_args(["fidelity"])
+        assert args.command == "fidelity"
+
+    def test_route_command_accepts_every_registered_router(self):
+        for router in ("codar", "codar-noise-aware", "sabre", "astar", "trivial"):
+            args = build_parser().parse_args(["route", "f.qasm",
+                                              "--router", router])
+            assert args.router == router
+
+    def test_route_command_on_directed_device(self, tmp_path, capsys):
+        qasm = tmp_path / "qx4.qasm"
+        qasm.write_text("qreg q[4];\nh q[0];\ncx q[0],q[3];\ncx q[2],q[1];\n")
+        code = main(["route", str(qasm), "--device", "ibm_qx4",
+                     "--router", "astar"])
+        assert code == 0
+        assert "cx" in capsys.readouterr().out
+
+    def test_baselines_command(self, capsys):
+        assert main(["baselines", "--max-qubits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean_speedup_vs_sabre" in out
+        for router in ("codar", "sabre", "astar", "trivial"):
+            assert router in out
+
+    def test_ablation_command(self, capsys):
+        assert main(["ablation", "--max-qubits", "4"]) == 0
+        assert "average_slowdown_vs_full" in capsys.readouterr().out
+
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity", "--max-qubits", "4"]) == 0
+        assert "2q/1q ratio" in capsys.readouterr().out
+
+    def test_layouts_command(self, capsys):
+        assert main(["layouts", "--max-qubits", "4"]) == 0
+        assert "reverse_traversal_1" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--qubits", "6", "--gates", "40", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "us_per_gate" in out and "Growth factors" in out

@@ -1,0 +1,238 @@
+"""Tests for the workload generators and the benchmark suite registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import Circuit
+from repro.core.unitary import circuit_unitary
+from repro.sim.statevector import StatevectorSimulator, zero_state
+from repro.workloads import (
+    bernstein_vazirani,
+    deutsch_jozsa,
+    ghz,
+    grover,
+    qaoa_maxcut,
+    qft,
+    random_circuit,
+    ripple_carry_adder,
+    simon,
+    supremacy_style,
+    toffoli_chain,
+)
+from repro.workloads.reversible import (
+    controlled_increment,
+    hidden_weighted_bit,
+    modular_adder,
+    random_reversible,
+    swap_test_network,
+)
+from repro.workloads.suite import (
+    SUITE_SIZE,
+    benchmark_names,
+    benchmark_suite,
+    famous_algorithms,
+    get_benchmark,
+)
+
+SIM = StatevectorSimulator()
+
+
+class TestTextbookGenerators:
+    def test_qft_structure(self):
+        circ = qft(4)
+        counts = circ.count_ops()
+        assert counts["h"] == 4
+        assert counts["cu1"] == 6
+        assert counts["swap"] == 2
+
+    def test_qft_without_swaps(self):
+        assert "swap" not in qft(4, with_swaps=False).count_ops()
+
+    def test_qft_unitary_on_basis_state(self):
+        # QFT of |0...0> is the uniform superposition.
+        circ = qft(3, with_swaps=True)
+        state = SIM.run(circ)
+        assert np.allclose(np.abs(state), 1 / math.sqrt(8))
+
+    def test_ghz_state_correct(self):
+        state = SIM.run(ghz(5))
+        expected = np.zeros(32, dtype=complex)
+        expected[0] = expected[-1] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_bernstein_vazirani_recovers_secret(self):
+        secret = 0b101
+        circ = bernstein_vazirani(4, secret=secret)
+        state = SIM.run(circ)
+        probabilities = np.abs(state) ** 2
+        # Data register (qubits 0..2) must equal the secret; ancilla is in |->.
+        data_outcomes = probabilities.reshape(2, 8).sum(axis=0)
+        assert data_outcomes[secret] == pytest.approx(1.0)
+
+    def test_bernstein_vazirani_default_secret_all_ones(self):
+        circ = bernstein_vazirani(5)
+        assert circ.count_ops()["cx"] == 4
+
+    def test_deutsch_jozsa_balanced_vs_constant(self):
+        balanced = deutsch_jozsa(4, balanced=True)
+        constant = deutsch_jozsa(4, balanced=False)
+        assert balanced.count_ops().get("cx", 0) > 0
+        assert constant.count_ops().get("cx", 0) == 0
+
+    def test_grover_amplifies_marked_state(self):
+        marked = 0b10
+        circ = grover(3, iterations=2, marked=marked)
+        probabilities = np.abs(SIM.run(circ)) ** 2
+        assert int(np.argmax(probabilities)) == marked
+        assert probabilities[marked] > 0.7
+
+    def test_grover_gate_counts_grow_with_iterations(self):
+        assert len(grover(4, iterations=2)) > len(grover(4, iterations=1))
+
+    def test_simon_layout(self):
+        circ = simon(6)
+        assert circ.num_qubits == 6
+        with pytest.raises(ValueError):
+            simon(5)
+
+    def test_qaoa_deterministic_given_seed(self):
+        assert qaoa_maxcut(6, seed=3) == qaoa_maxcut(6, seed=3)
+        assert qaoa_maxcut(6, seed=3) != qaoa_maxcut(6, seed=4)
+
+    def test_qaoa_layers_scale_gate_count(self):
+        assert len(qaoa_maxcut(8, layers=2)) > len(qaoa_maxcut(8, layers=1))
+
+    def test_adder_computes_sum(self):
+        # 2-bit adder: a=1, b=1 -> b should read 2 (binary 10), carry 0.
+        bits = 2
+        circ = Circuit(2 * bits + 2, name="adder_test")
+        circ.x(1)          # a[0] = 1
+        circ.x(1 + bits)   # b[0] = 1
+        circ = circ.compose(ripple_carry_adder(bits))
+        probabilities = np.abs(SIM.run(circ)) ** 2
+        outcome = int(np.argmax(probabilities))
+        b_value = (outcome >> (1 + bits)) & ((1 << bits) - 1)
+        carry = (outcome >> (2 * bits + 1)) & 1
+        assert b_value == 2
+        assert carry == 0
+
+    def test_toffoli_chain_validation(self):
+        with pytest.raises(ValueError):
+            toffoli_chain(2)
+        assert toffoli_chain(4, repetitions=2).num_qubits == 4
+
+
+class TestRandomGenerators:
+    def test_random_circuit_reproducible(self):
+        assert random_circuit(6, 100, seed=1) == random_circuit(6, 100, seed=1)
+        assert random_circuit(6, 100, seed=1) != random_circuit(6, 100, seed=2)
+
+    def test_random_circuit_two_qubit_fraction(self):
+        circ = random_circuit(8, 1000, seed=5, two_qubit_fraction=0.3)
+        fraction = circ.num_two_qubit_gates() / len(circ)
+        assert 0.2 < fraction < 0.4
+
+    def test_supremacy_style_grid_interactions(self):
+        circ = supremacy_style(2, 3, cycles=4)
+        assert circ.num_qubits == 6
+        # CZ gates only between logical grid neighbours.
+        for gate in circ.two_qubit_gates():
+            a, b = gate.qubits
+            ra, ca = divmod(a, 3)
+            rb, cb = divmod(b, 3)
+            assert abs(ra - rb) + abs(ca - cb) == 1
+
+    def test_random_reversible_gate_mix(self):
+        circ = random_reversible(6, 200, seed=9)
+        counts = circ.count_ops()
+        assert counts.get("cx", 0) > 0
+        assert all(name in {"x", "cx", "h", "t", "tdg", "s", "sdg"} or name == "cx"
+                   for name in counts)
+
+
+class TestReversibleGenerators:
+    def test_controlled_increment(self):
+        circ = controlled_increment(5, repetitions=2)
+        assert circ.num_qubits == 5
+        assert len(circ) > 0
+
+    def test_modular_adder_restores_operand(self):
+        # The a register must be returned unchanged (reversibility check).
+        bits = 2
+        prep = Circuit(2 * bits + 1).x(0)
+        circ = prep.compose(modular_adder(bits))
+        probabilities = np.abs(SIM.run(circ)) ** 2
+        outcome = int(np.argmax(probabilities))
+        assert outcome & 0b11 == 0b01  # a register still reads 1
+
+    def test_hidden_weighted_bit_dense(self):
+        circ = hidden_weighted_bit(5)
+        assert circ.num_two_qubit_gates() > 20
+
+    def test_swap_test_validation(self):
+        with pytest.raises(ValueError):
+            swap_test_network(4)
+        assert swap_test_network(5).num_qubits == 5
+
+
+class TestSuiteRegistry:
+    def test_suite_has_71_benchmarks(self):
+        assert len(benchmark_suite()) == SUITE_SIZE == 71
+
+    def test_three_36_qubit_outliers(self):
+        large = [c for c in benchmark_suite() if c.num_qubits == 36]
+        assert len(large) == 3
+
+    def test_qubit_range_matches_paper(self):
+        sizes = [c.num_qubits for c in benchmark_suite()]
+        assert min(sizes) == 3
+        assert max(sizes) == 36
+
+    def test_sorted_by_qubit_count(self):
+        sizes = [c.num_qubits for c in benchmark_suite()]
+        assert sizes == sorted(sizes)
+
+    def test_all_except_outliers_fit_q16(self):
+        fitting = benchmark_suite(max_qubits=16)
+        assert len(fitting) == 68
+
+    def test_names_unique(self):
+        names = benchmark_names()
+        assert len(names) == len(set(names))
+
+    def test_get_benchmark_builds_named_circuit(self):
+        circ = get_benchmark("qft_8")
+        assert circ.name == "qft_8"
+        assert circ.num_qubits == 8
+
+    def test_get_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonexistent_benchmark")
+
+    def test_builds_are_cached(self):
+        assert get_benchmark("ghz_5") is get_benchmark("ghz_5")
+
+    def test_family_filter(self):
+        qft_cases = benchmark_suite(families=["qft"])
+        assert all(c.family == "qft" for c in qft_cases)
+        assert len(qft_cases) == 6
+
+    def test_case_metadata_consistent_with_circuit(self):
+        for case in benchmark_suite(max_qubits=8):
+            circuit = case.build()
+            assert circuit.num_qubits == case.num_qubits
+            assert len(circuit) > 0
+
+    def test_fits_predicate(self):
+        case = benchmark_suite()[0]
+        assert case.fits(case.num_qubits)
+        assert not case.fits(case.num_qubits - 1)
+
+    def test_famous_algorithms_for_fidelity_experiment(self):
+        algorithms = famous_algorithms()
+        assert len(algorithms) == 7
+        assert all(circ.num_qubits <= 6 for circ in algorithms)
+        names = {circ.name for circ in algorithms}
+        assert len(names) == 7
