@@ -23,6 +23,15 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every harness under benchmarks/ counts as slow (regenerating the
+    paper's tables takes minutes), so ``-m "not slow"`` gives a fast lane."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--paper-scale", action="store_true", default=False,

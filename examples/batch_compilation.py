@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Batch compilation: submit a workload slice through the service layer.
+
+This example shows the scaling surface added on top of the single-circuit
+``Router.run`` API:
+
+1. describe work as :class:`~repro.service.jobs.CompileJob` specs (QASM text
+   plus registered router/device names — no live objects),
+2. compile the whole batch in one call, optionally fanned across worker
+   processes,
+3. attach an on-disk result cache and watch a second run answer from it
+   byte-identically, and
+4. rebuild full :class:`~repro.mapping.base.RoutingResult` objects from the
+   serialized outcomes.
+
+Run with:  python examples/batch_compilation.py
+"""
+
+import tempfile
+import time
+
+from repro import CompileJob, CompilationService, ResultCache
+from repro.workloads.suite import benchmark_suite
+
+DEVICES = ("ibm_q20_tokyo", "ibm_q16_melbourne")
+ROUTERS = ("codar", "sabre")
+
+
+def build_jobs() -> list[CompileJob]:
+    cases = [case for case in benchmark_suite(max_qubits=8)
+             if len(case.build()) <= 300]
+    return [CompileJob.from_circuit(case.build(), device, router,
+                                    layout_strategy="reverse_traversal")
+            for device in DEVICES for case in cases for router in ROUTERS]
+
+
+def main() -> None:
+    jobs = build_jobs()
+    print(f"submitting {len(jobs)} jobs "
+          f"({len(jobs) // (len(DEVICES) * len(ROUTERS))} circuits x "
+          f"{len(DEVICES)} devices x {len(ROUTERS)} routers)")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        service = CompilationService(workers=4, cache=ResultCache(cache_dir))
+
+        start = time.perf_counter()
+        cold = service.compile_batch(jobs)
+        print(f"cold run : {time.perf_counter() - start:.2f}s, "
+              f"{sum(o.ok for o in cold)}/{len(cold)} ok")
+
+        start = time.perf_counter()
+        warm = service.compile_batch(jobs)
+        hits = sum(o.cache_hit for o in warm)
+        print(f"warm run : {time.perf_counter() - start:.2f}s, "
+              f"{hits}/{len(warm)} cache hits")
+        assert [a.to_json() for a in cold] == [b.to_json() for b in warm]
+        print(f"cache    : {service.cache.stats.as_dict()}")
+
+        # Outcomes are plain data but round-trip to full results on demand.
+        result = cold[0].routing_result(jobs[0])
+        print(f"example  : {result.original.name} on {result.device.name} "
+              f"via {result.router_name}: weighted depth "
+              f"{result.weighted_depth}, {result.swap_count} SWAPs")
+
+
+if __name__ == "__main__":
+    main()

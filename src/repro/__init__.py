@@ -11,9 +11,12 @@ qubit mapping problem on NISQ devices.  This package provides:
   (:mod:`repro.mapping`),
 * timing, state-vector and noisy density-matrix simulators (:mod:`repro.sim`),
 * the benchmark workload suite used by the paper's evaluation
-  (:mod:`repro.workloads`), and
+  (:mod:`repro.workloads`),
 * experiment harnesses that regenerate every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`), and
+* a batch compilation service with process-parallel execution, a
+  content-addressed result cache and pluggable router/device registries
+  (:mod:`repro.service`).
 
 Quickstart
 ----------
@@ -25,6 +28,21 @@ Quickstart
 >>> result = CodarRouter().run(circ, device)
 >>> result.weighted_depth > 0
 True
+
+Batch compilation
+-----------------
+
+Jobs reference routers and devices by registered spec, so a batch can fan out
+across worker processes and be replayed from cache byte-identically:
+
+>>> from repro import CompileJob, compile_batch
+>>> jobs = [CompileJob.from_circuit(circ, "ibm_q20_tokyo", router)
+...         for router in ("codar", "sabre")]
+>>> outcomes = compile_batch(jobs)          # workers=4, cache=... to scale
+>>> [o.ok for o in outcomes]
+[True, True]
+>>> outcomes[0].summary["router"]
+'codar'
 """
 
 from repro.core.circuit import Circuit
@@ -38,8 +56,10 @@ from repro.mapping.sabre.remapper import SabreRouter
 from repro.mapping.base import RoutingResult
 from repro.mapping.layout import Layout
 from repro.passes.pipeline import transpile
+from repro.service import (CompilationService, CompileJob, CompileOutcome,
+                           ResultCache, compile_batch, compile_one, sweep)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Circuit",
@@ -55,5 +75,12 @@ __all__ = [
     "RoutingResult",
     "Layout",
     "transpile",
+    "CompileJob",
+    "CompileOutcome",
+    "CompilationService",
+    "ResultCache",
+    "compile_one",
+    "compile_batch",
+    "sweep",
     "__version__",
 ]

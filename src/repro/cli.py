@@ -5,6 +5,13 @@ Usage (``python -m repro.cli <command> ...``):
 * ``route FILE --device ibm_q20_tokyo [--router codar|sabre|astar|trivial]``
   Parse an OpenQASM 2.0 file, compile it for the device and print the routed
   QASM plus the metrics the paper reports (weighted depth, SWAP count).
+* ``batch [FILES ...] [--suite] --device D [--device D2] --router R ...``
+  Submit a batch of circuits (QASM files and/or a benchmark-suite slice) to
+  the compilation service: every (circuit, device, router) combination runs
+  as one job, fanned across ``--workers`` processes with optional on-disk
+  result caching (``--cache-dir``).
+* ``cache --cache-dir PATH [--clear]``
+  Inspect (or wipe) an on-disk compilation cache.
 * ``devices``
   List the registered device models and their coupling statistics.
 * ``speedup [--full] [--arch NAME ...]``
@@ -28,7 +35,9 @@ Usage (``python -m repro.cli <command> ...``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.arch.devices import get_device, list_devices
 from repro.experiments.ablation import AblationExperiment
@@ -45,7 +54,11 @@ from repro.mapping.codar.remapper import CodarRouter
 from repro.mapping.sabre.remapper import SabreRouter
 from repro.mapping.trivial import TrivialRouter
 from repro.passes.pipeline import transpile
-from repro.qasm import circuit_to_qasm, parse_qasm_file
+from repro.qasm import QasmError, circuit_to_qasm, parse_qasm_file
+from repro.service.api import compile_batch, make_job
+from repro.service.cache import ResultCache
+from repro.service.registry import ROUTERS, device_spec
+from repro.workloads.suite import benchmark_suite
 
 _ROUTERS = {
     "codar": CodarRouter,
@@ -81,6 +94,103 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if summary["verified"] else 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        circuits = [parse_qasm_file(path) for path in args.files]
+    except (OSError, QasmError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.suite:
+        cases = benchmark_suite(max_qubits=args.max_qubits)
+        circuits.extend(case.build() for case in cases
+                        if args.max_gates is None or len(case.build()) <= args.max_gates)
+    if not circuits:
+        print("no circuits selected (pass FILES or --suite)", file=sys.stderr)
+        return 2
+
+    devices = args.device or ["ibm_q20_tokyo"]
+    routers = args.router or ["codar"]
+    jobs = []
+    display_names = {}
+    skipped = []
+    try:
+        device_specs = [device_spec(name) for name in devices]
+        router_specs = [ROUTERS.normalize(name) for name in routers]
+        for spec in device_specs:
+            device = get_device(spec["name"], **spec["params"])
+            display_names[json.dumps(spec, sort_keys=True)] = device.name
+            for circuit in circuits:
+                if circuit.num_qubits > device.num_qubits:
+                    skipped.append(f"{circuit.name} ({circuit.num_qubits}q) "
+                                   f"does not fit {device.name} "
+                                   f"({device.num_qubits}q)")
+                    continue
+                for router in router_specs:
+                    jobs.append(make_job(circuit, spec, router,
+                                         layout_strategy=args.layout,
+                                         seed=args.seed))
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for reason in skipped:
+        print(f"# skipped: {reason}", file=sys.stderr)
+    if not jobs:
+        print("error: every (circuit, device) combination was skipped as "
+              "oversized", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    progress = None
+    if args.verbose:
+        progress = lambda message: print(f"  {message}", file=sys.stderr)  # noqa: E731
+    start = time.perf_counter()
+    outcomes = compile_batch(jobs, workers=args.workers, cache=cache,
+                             progress=progress)
+    elapsed = time.perf_counter() - start
+
+    failures = 0
+    for job, outcome in zip(jobs, outcomes):
+        flag = "cached" if outcome.cache_hit else ("ok" if outcome.ok else "ERROR")
+        device_name = display_names[json.dumps(job.device, sort_keys=True)]
+        if outcome.ok:
+            summary = outcome.summary
+            print(f"{job.circuit_name:<22s} {device_name:<18s} "
+                  f"{job.router['name']:<10s} {flag:<6s} "
+                  f"swaps={summary['swaps']:<5d} "
+                  f"wd={summary['weighted_depth']:<9.1f} "
+                  f"t={summary['runtime_s']:.3f}s")
+        else:
+            failures += 1
+            print(f"{job.circuit_name:<22s} {device_name:<18s} "
+                  f"{job.router['name']:<10s} {flag:<6s} "
+                  f"{outcome.error_type}: {outcome.error}")
+    hits = sum(1 for outcome in outcomes if outcome.cache_hit)
+    rate = len(jobs) / elapsed if elapsed > 0 else float("inf")
+    print(f"# {len(jobs)} jobs in {elapsed:.2f}s ({rate:.1f} jobs/s), "
+          f"{hits} cache hits, {failures} failures", file=sys.stderr)
+    if cache is not None:
+        print(f"# cache stats: {cache.stats.as_dict()}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump([{"job": job.to_dict(), "outcome": outcome.to_dict(),
+                        "cache_hit": outcome.cache_hit}
+                       for job, outcome in zip(jobs, outcomes)],
+                      handle, indent=2, sort_keys=True)
+        print(f"# outcomes written to {args.json}", file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir, memory=False)
+    entries = len(cache)
+    print(f"cache dir : {args.cache_dir}")
+    print(f"entries   : {entries}")
+    print(f"disk bytes: {cache.disk_bytes()}")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared   : {removed} entries")
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     for name in list_devices():
         device = get_device(name)
@@ -95,6 +205,10 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         kwargs.update(max_benchmark_qubits=12, max_benchmark_gates=800)
     if args.arch:
         kwargs.update(architectures=args.arch)
+    if args.workers:
+        kwargs.update(workers=args.workers)
+    if args.cache_dir:
+        kwargs.update(cache=ResultCache(args.cache_dir))
     experiment = SpeedupExperiment(**kwargs)
     summaries = experiment.run(progress=lambda m: print(f"  {m}", file=sys.stderr))
     print(SpeedupExperiment.report(summaries, detailed=args.detailed))
@@ -119,8 +233,10 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 
 def _cmd_baselines(args: argparse.Namespace) -> int:
-    experiment = BaselineComparisonExperiment(device=get_device(args.device),
-                                              max_qubits=args.max_qubits)
+    experiment = BaselineComparisonExperiment(
+        device=get_device(args.device), max_qubits=args.max_qubits,
+        workers=args.workers or None,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None)
     print(BaselineComparisonExperiment.report(experiment.run(),
                                               detailed=args.detailed))
     return 0
@@ -169,6 +285,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip coupling/equivalence verification")
     route.set_defaults(func=_cmd_route)
 
+    batch = sub.add_parser(
+        "batch", help="compile a batch of circuits through the service")
+    batch.add_argument("files", nargs="*", help="OpenQASM 2.0 input files")
+    batch.add_argument("--suite", action="store_true",
+                       help="include the benchmark suite circuits")
+    batch.add_argument("--max-qubits", type=int, default=10,
+                       help="largest suite benchmark (in qubits) to include")
+    batch.add_argument("--max-gates", type=int, default=500,
+                       help="largest suite benchmark (in gates) to include")
+    batch.add_argument("--device", action="append",
+                       help="target device (repeatable; accepts parametric "
+                            "names like grid_4x4); default ibm_q20_tokyo")
+    batch.add_argument("--router", action="append",
+                       help=f"router spec (repeatable); known: {ROUTERS.names()}")
+    batch.add_argument("--layout", default="reverse_traversal",
+                       help="initial-layout strategy "
+                            "(degree/identity/random/reverse_traversal)")
+    batch.add_argument("--seed", type=int, help="seed for seeded layouts")
+    batch.add_argument("--workers", type=int,
+                       help="process-pool size (default: serial)")
+    batch.add_argument("--cache-dir", help="on-disk result cache directory")
+    batch.add_argument("--json", help="write job+outcome records to this file")
+    batch.add_argument("--verbose", action="store_true",
+                       help="print per-job progress to stderr")
+    batch.set_defaults(func=_cmd_batch)
+
+    cache = sub.add_parser("cache", help="inspect an on-disk result cache")
+    cache.add_argument("--cache-dir", required=True)
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    cache.set_defaults(func=_cmd_cache)
+
     devices = sub.add_parser("devices", help="list registered device models")
     devices.set_defaults(func=_cmd_devices)
 
@@ -176,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     speedup.add_argument("--full", action="store_true")
     speedup.add_argument("--arch", action="append")
     speedup.add_argument("--detailed", action="store_true")
+    speedup.add_argument("--workers", type=int,
+                         help="fan the sweep across worker processes")
+    speedup.add_argument("--cache-dir", help="on-disk result cache directory")
     speedup.set_defaults(func=_cmd_speedup)
 
     fidelity = sub.add_parser("fidelity", help="run the Fig. 9 fidelity study")
@@ -193,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
                                help="compare CODAR with trivial / A* / SABRE")
     _add_study_options(baselines, max_qubits=10)
     baselines.add_argument("--detailed", action="store_true")
+    baselines.add_argument("--workers", type=int,
+                           help="fan the sweep across worker processes")
+    baselines.add_argument("--cache-dir", help="on-disk result cache directory")
     baselines.set_defaults(func=_cmd_baselines)
 
     sensitivity = sub.add_parser("sensitivity",

@@ -26,7 +26,13 @@ from repro.mapping.base import Router
 from repro.mapping.codar.remapper import CodarRouter
 from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
 from repro.mapping.trivial import TrivialRouter
+from repro.service.api import compile_batch, make_job
+from repro.service.cache import ResultCache
+from repro.service.registry import device_spec
 from repro.workloads.suite import benchmark_suite
+
+#: Router spec names used when the sweep runs through the service.
+DEFAULT_ROUTER_SPECS = ("trivial", "astar", "sabre", "codar")
 
 
 @dataclass(frozen=True)
@@ -67,13 +73,18 @@ class BaselineComparisonExperiment:
 
     def __init__(self, device: Device | None = None,
                  routers: Sequence[Router] | None = None,
-                 max_qubits: int = 10, max_gates: int = 500):
+                 max_qubits: int = 10, max_gates: int = 500,
+                 workers: int | None = None,
+                 cache: ResultCache | None = None):
         self.device = device or get_device("ibm_q20_tokyo")
+        self._custom_routers = routers is not None
         self.routers = list(routers) if routers is not None else default_routers()
         if not any(r.name == "sabre" for r in self.routers):
             self.routers.append(SabreRouter())
         self.max_qubits = max_qubits
         self.max_gates = max_gates
+        self.workers = workers
+        self.cache = cache
 
     # ------------------------------------------------------------------ #
     def circuits(self) -> list[Circuit]:
@@ -83,8 +94,23 @@ class BaselineComparisonExperiment:
                 if len(case.build()) <= self.max_gates]
 
     def run(self) -> list[BaselineRecord]:
+        """Route every (circuit, router) pair, preferring the batch service.
+
+        The default router set is expressible as registry specs, so the sweep
+        is submitted as one service batch (parallelisable, cacheable).
+        Custom router instances — or a device the registry cannot describe —
+        fall back to direct in-process routing.
+        """
+        circuits = self.circuits()
+        if not self._custom_routers:
+            try:
+                spec = device_spec(self.device)
+            except (KeyError, ValueError, TypeError):
+                spec = None
+            if spec is not None:
+                return self._run_service(circuits, spec)
         records: list[BaselineRecord] = []
-        for circuit in self.circuits():
+        for circuit in circuits:
             layout = reverse_traversal_layout(circuit, self.device)
             results = {router.name: router.run(circuit, self.device,
                                                initial_layout=layout)
@@ -98,6 +124,37 @@ class BaselineComparisonExperiment:
                     depth=result.depth,
                     swaps=result.swap_count,
                     runtime_s=result.runtime_seconds,
+                    sabre_weighted_depth=sabre_depth,
+                ))
+        return records
+
+    def _run_service(self, circuits: Sequence[Circuit],
+                     device: dict) -> list[BaselineRecord]:
+        names = DEFAULT_ROUTER_SPECS
+        # seed=0 pins one derived seed across the four router jobs per
+        # circuit, so they share a single (memoised) initial mapping.
+        jobs = [make_job(circuit, device, router,
+                         layout_strategy="reverse_traversal", seed=0)
+                for circuit in circuits for router in names]
+        outcomes = compile_batch(jobs, workers=self.workers, cache=self.cache)
+        records: list[BaselineRecord] = []
+        for start, circuit in zip(range(0, len(jobs), len(names)), circuits):
+            group = dict(zip(names, outcomes[start:start + len(names)]))
+            for name, outcome in group.items():
+                if not outcome.ok:
+                    raise RuntimeError(
+                        f"routing {circuit.name} with {name} failed "
+                        f"({outcome.error_type}): {outcome.error}")
+            sabre_depth = group["sabre"].summary["weighted_depth"]
+            for name, outcome in group.items():
+                summary = outcome.summary
+                records.append(BaselineRecord(
+                    router=name,
+                    benchmark=circuit.name,
+                    weighted_depth=summary["weighted_depth"],
+                    depth=summary["depth"],
+                    swaps=summary["swaps"],
+                    runtime_s=summary["runtime_s"],
                     sabre_weighted_depth=sabre_depth,
                 ))
         return records

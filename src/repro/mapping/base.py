@@ -41,6 +41,8 @@ class RoutingResult:
     weighted_depth: float
     depth: int
     runtime_seconds: float = 0.0
+    layout_strategy: str = "degree"
+    seed: int | None = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -57,9 +59,14 @@ class RoutingResult:
             return 1.0
         return other.weighted_depth / self.weighted_depth
 
-    def summary(self) -> dict:
-        """Flat dict used by the experiment reports."""
-        return {
+    def summary(self, include_circuits: bool = False) -> dict:
+        """Flat JSON-serialisable dict used by the experiment reports.
+
+        With ``include_circuits=True`` the original and routed circuits are
+        embedded as OpenQASM text, making the dict a lossless record that
+        :meth:`from_summary` can reconstruct a result from.
+        """
+        data = {
             "router": self.router_name,
             "circuit": self.original.name,
             "device": self.device.name,
@@ -70,7 +77,86 @@ class RoutingResult:
             "depth": self.depth,
             "weighted_depth": self.weighted_depth,
             "runtime_s": round(self.runtime_seconds, 6),
+            "layout_strategy": self.layout_strategy,
+            "seed": self.seed,
+            "initial_layout": self.initial_layout.physical_list(),
+            "final_layout": self.final_layout.physical_list(),
         }
+        if include_circuits:
+            from repro.qasm.exporter import circuit_to_qasm
+
+            data["original_qasm"] = circuit_to_qasm(self.original)
+            data["routed_qasm"] = circuit_to_qasm(self.routed)
+        return data
+
+    @classmethod
+    def from_summary(cls, data: dict, *, original: Circuit | None = None,
+                     routed: Circuit | None = None,
+                     device: Device | None = None) -> "RoutingResult":
+        """Rebuild a result from :meth:`summary` output (the JSON round-trip).
+
+        The circuits come either from the explicit ``original``/``routed``
+        arguments or from the ``original_qasm``/``routed_qasm`` keys written by
+        ``summary(include_circuits=True)``; the device is resolved from its
+        registered name when not supplied.
+        """
+        from repro.qasm.parser import parse_qasm
+
+        if device is None:
+            from repro.service.registry import build_device
+
+            device = build_device(data["device"])
+        if original is None:
+            if "original_qasm" not in data:
+                raise ValueError(
+                    "from_summary needs original= or an 'original_qasm' key "
+                    "(use summary(include_circuits=True))")
+            original = parse_qasm(data["original_qasm"], name=data["circuit"])
+        if routed is None:
+            if "routed_qasm" not in data:
+                raise ValueError(
+                    "from_summary needs routed= or a 'routed_qasm' key "
+                    "(use summary(include_circuits=True))")
+            routed = parse_qasm(data["routed_qasm"], name=data["circuit"])
+        return cls(
+            router_name=data["router"],
+            original=original,
+            routed=routed,
+            device=device,
+            initial_layout=Layout(data["initial_layout"]),
+            final_layout=Layout(data["final_layout"]),
+            swap_count=data["swaps"],
+            weighted_depth=data["weighted_depth"],
+            depth=data["depth"],
+            runtime_seconds=data.get("runtime_s", 0.0),
+            layout_strategy=data.get("layout_strategy", "degree"),
+            seed=data.get("seed"),
+        )
+
+
+#: Memo for reverse-traversal initial layouts, keyed by (circuit QASM,
+#: coupling fingerprint, seed).  Building one costs two full SABRE routing
+#: passes, and batch jobs that share a circuit+device (e.g. the CODAR and
+#: SABRE legs of the speedup sweep) would otherwise each pay it.
+_REVERSE_TRAVERSAL_MEMO: dict[tuple, list[int]] = {}
+_REVERSE_TRAVERSAL_MEMO_LIMIT = 256
+
+
+def _reverse_traversal_memoized(circuit: Circuit, device: Device,
+                                seed: int | None) -> Layout:
+    from repro.mapping.sabre.remapper import reverse_traversal_layout
+    from repro.qasm.exporter import circuit_to_qasm
+
+    key = (circuit_to_qasm(circuit), device.num_qubits,
+           tuple(device.coupling.edges), seed)
+    cached = _REVERSE_TRAVERSAL_MEMO.get(key)
+    if cached is not None:
+        return Layout(cached)
+    layout = reverse_traversal_layout(circuit, device, seed=seed)
+    if len(_REVERSE_TRAVERSAL_MEMO) >= _REVERSE_TRAVERSAL_MEMO_LIMIT:
+        _REVERSE_TRAVERSAL_MEMO.pop(next(iter(_REVERSE_TRAVERSAL_MEMO)))
+    _REVERSE_TRAVERSAL_MEMO[key] = layout.physical_list()
+    return layout
 
 
 class Router(abc.ABC):
@@ -94,7 +180,12 @@ class Router(abc.ABC):
         """Route ``circuit`` onto ``device`` and package the result.
 
         When ``initial_layout`` is omitted one is built with
-        :func:`repro.mapping.layout.initial_layout` using ``layout_strategy``.
+        :func:`repro.mapping.layout.initial_layout` using ``layout_strategy``;
+        the extra strategy name ``"reverse_traversal"`` runs SABRE's
+        reverse-traversal refinement, so batch jobs can request the paper's
+        shared initial mapping declaratively.  The strategy and seed are
+        recorded on the result (and in its summary) so cached and fresh runs
+        are provably reproducible.
         """
         from repro.mapping.layout import initial_layout as build_layout
         from repro.sim.scheduler import asap_schedule
@@ -103,12 +194,27 @@ class Router(abc.ABC):
             raise ValueError(
                 f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits but "
                 f"device {device.name!r} only has {device.num_qubits}")
-        layout = (initial_layout.copy() if initial_layout is not None
-                  else build_layout(circuit, device.coupling, layout_strategy, seed=seed))
+        if (any(g.num_qubits == 2 for g in circuit.gates)
+                and not device.coupling.is_connected()):
+            # SWAPs cannot cross coupling components, so every greedy router
+            # would spin forever on an unreachable pair.
+            raise ValueError(
+                f"device {device.name!r} has a disconnected coupling graph; "
+                "two-qubit gates cannot be routed on it")
+        if initial_layout is not None:
+            layout = initial_layout.copy()
+            layout_strategy = "explicit"
+        elif layout_strategy == "reverse_traversal":
+            layout = _reverse_traversal_memoized(circuit, device, seed)
+        else:
+            layout = build_layout(circuit, device.coupling, layout_strategy,
+                                  seed=seed)
         start = time.perf_counter()
         routed, final_layout, swap_count, extra = self._route(circuit, device, layout.copy())
         elapsed = time.perf_counter() - start
         schedule = asap_schedule(routed, device.durations)
+        if seed is not None:
+            extra.setdefault("seed", seed)
         return RoutingResult(
             router_name=self.name,
             original=circuit,
@@ -120,5 +226,7 @@ class Router(abc.ABC):
             weighted_depth=schedule.makespan,
             depth=routed.depth(),
             runtime_seconds=elapsed,
+            layout_strategy=layout_strategy,
+            seed=seed,
             extra=extra,
         )

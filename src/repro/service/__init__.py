@@ -1,0 +1,43 @@
+"""repro.service — parallel batch compilation with result caching.
+
+The service layer turns the library's one-circuit-at-a-time ``Router.run``
+calls into a batch pipeline:
+
+* :mod:`repro.service.registry` — named router/device registries so jobs are
+  plain specs instead of live objects,
+* :mod:`repro.service.jobs` — JSON-serialisable :class:`CompileJob` /
+  :class:`CompileOutcome` records with content-addressed keys,
+* :mod:`repro.service.cache` — a two-tier (memory + disk) result cache with
+  hit/miss statistics and corruption tolerance,
+* :mod:`repro.service.executor` — :class:`CompilationService`, fanning cache
+  misses across a process pool with per-job error capture,
+* :mod:`repro.service.api` — the ``compile_one`` / ``compile_batch`` /
+  ``sweep`` façade used by experiments and the CLI.
+"""
+
+from repro.service.api import compile_batch, compile_one, make_job, sweep
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.executor import CompilationService, ServiceStats, execute_job
+from repro.service.jobs import CompileJob, CompileOutcome
+from repro.service.registry import (DEVICES, ROUTERS, build_device,
+                                    build_router, device_spec, router_spec)
+
+__all__ = [
+    "CompileJob",
+    "CompileOutcome",
+    "CompilationService",
+    "ResultCache",
+    "CacheStats",
+    "ServiceStats",
+    "compile_one",
+    "compile_batch",
+    "make_job",
+    "sweep",
+    "execute_job",
+    "build_router",
+    "build_device",
+    "router_spec",
+    "device_spec",
+    "ROUTERS",
+    "DEVICES",
+]

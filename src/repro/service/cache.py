@@ -1,0 +1,144 @@
+"""Content-addressed compilation cache (in-memory + optional on-disk tier).
+
+Entries are outcome dicts (see :meth:`repro.service.jobs.CompileOutcome.to_dict`)
+keyed by :attr:`repro.service.jobs.CompileJob.key` — a sha256 over the
+canonical job JSON — so the key is stable across processes and machines and
+*any* change to the job spec (QASM text, device or router parameters, layout
+strategy, seed, schema version) lands on a different entry.
+
+The on-disk tier is a two-level directory of JSON files written atomically
+(temp file + ``os.replace``), safe under concurrent writers.  Corrupt or
+truncated entries are treated as misses, counted in ``stats.corrupt`` and
+deleted so the slot heals on the next put; a bad cache can cost a recompute
+but never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class ResultCache:
+    """Two-tier (memory, disk) cache of compilation outcomes.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk tier; ``None`` keeps the cache memory-only.
+    memory:
+        Keep a process-local dict in front of the disk tier (default).
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None, *,
+                 memory: bool = True):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        # The memory tier stores serialised JSON, not dicts, so a caller
+        # mutating a returned outcome can never corrupt later cache hits.
+        self._memory: dict[str, str] | None = {} if memory else None
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored outcome dict, or ``None`` (counted as hit/miss)."""
+        if self._memory is not None and key in self._memory:
+            self.stats.hits += 1
+            return json.loads(self._memory[key])
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                if not isinstance(data, dict) or data.get("job_key") != key:
+                    raise ValueError("cache entry does not match its key")
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError, UnicodeDecodeError):
+                # Truncated/corrupt entry: heal by deleting and recomputing.
+                self.stats.corrupt += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                if self._memory is not None:
+                    self._memory[key] = json.dumps(data, sort_keys=True)
+                self.stats.hits += 1
+                return data
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, outcome: dict) -> None:
+        """Store an outcome dict under ``key`` in every enabled tier."""
+        encoded = json.dumps(outcome, sort_keys=True)
+        if self._memory is not None:
+            self._memory[key] = encoded
+        if self.directory is not None:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------ #
+    def keys(self) -> set[str]:
+        found: set[str] = set(self._memory or ())
+        if self.directory is not None:
+            found.update(p.stem for p in self.directory.glob("??/*.json"))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and key in self.keys()
+
+    def disk_bytes(self) -> int:
+        if self.directory is None:
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Drop every entry from every tier; returns the number removed."""
+        removed = len(self)
+        if self._memory is not None:
+            self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("??/*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,169 @@
+"""The service's unit of work: JSON-serialisable job and outcome records.
+
+A :class:`CompileJob` is a fully declarative description of one routing run —
+the circuit as OpenQASM text plus router/device *specs* (see
+:mod:`repro.service.registry`) and the layout strategy and seed.  Because the
+whole description is plain data, a job can be shipped to a worker process,
+hashed into a stable cache key and replayed byte-identically later.
+
+A :class:`CompileOutcome` is the matching result record: the routed circuit as
+QASM plus the extended :meth:`repro.mapping.base.RoutingResult.summary` dict,
+or a captured error.  ``cache_hit`` is transport metadata — it is *not* part
+of :meth:`CompileOutcome.to_dict`, so a warm-cache replay serialises
+byte-identically to the original computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.circuit import Circuit
+from repro.service.registry import device_spec, router_spec
+
+#: Bump when the job→result contract changes so stale cache entries miss.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CompileJob:
+    """One (circuit, device, router, layout, seed) compilation request."""
+
+    qasm: str
+    device: dict
+    router: dict
+    layout_strategy: str = "degree"
+    seed: int | None = None
+    circuit_name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        self.device = device_spec(self.device)
+        self.router = router_spec(self.router)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_circuit(cls, circuit: Circuit | str, device, router="codar", *,
+                     layout_strategy: str = "degree",
+                     seed: int | None = None) -> "CompileJob":
+        """Build a job from a :class:`Circuit` (or raw QASM text)."""
+        if isinstance(circuit, Circuit):
+            from repro.qasm.exporter import circuit_to_qasm
+
+            qasm, name = circuit_to_qasm(circuit), circuit.name
+        else:
+            qasm, name = str(circuit), "circuit"
+        return cls(qasm=qasm, device=device, router=router,
+                   layout_strategy=layout_strategy, seed=seed,
+                   circuit_name=name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def key(self) -> str:
+        """Content-addressed identity: sha256 over the canonical job JSON."""
+        payload = json.dumps({
+            "version": SCHEMA_VERSION,
+            "qasm": self.qasm,
+            "device": self.device,
+            "router": self.router,
+            "layout_strategy": self.layout_strategy,
+            "seed": self.seed,
+            "circuit": self.circuit_name,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def effective_seed(self) -> int:
+        """The seed actually passed to the router.
+
+        Explicit seeds win; otherwise a deterministic seed is derived from the
+        job key, so repeated submissions of the same spec are reproducible
+        even under seed-sensitive layout strategies.
+        """
+        if self.seed is not None:
+            return self.seed
+        return int(self.key[:8], 16)
+
+    def to_dict(self) -> dict:
+        return {
+            "qasm": self.qasm,
+            "device": self.device,
+            "router": self.router,
+            "layout_strategy": self.layout_strategy,
+            "seed": self.seed,
+            "circuit_name": self.circuit_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CompileJob":
+        return cls(qasm=data["qasm"], device=data["device"],
+                   router=data["router"],
+                   layout_strategy=data.get("layout_strategy", "degree"),
+                   seed=data.get("seed"),
+                   circuit_name=data.get("circuit_name", "circuit"))
+
+
+@dataclass
+class CompileOutcome:
+    """Result of one job: routed QASM + summary metrics, or a captured error."""
+
+    job_key: str
+    status: str  # "ok" | "error"
+    summary: dict | None = None
+    routed_qasm: str | None = None
+    error: str | None = None
+    error_type: str | None = None
+    #: Transport metadata set by the service; excluded from serialisation.
+    cache_hit: bool = field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "job_key": self.job_key,
+            "status": self.status,
+            "summary": self.summary,
+            "routed_qasm": self.routed_qasm,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order, no volatile fields)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CompileOutcome":
+        return cls(job_key=data["job_key"], status=data["status"],
+                   summary=data.get("summary"),
+                   routed_qasm=data.get("routed_qasm"),
+                   error=data.get("error"), error_type=data.get("error_type"))
+
+    # ------------------------------------------------------------------ #
+    def routing_result(self, job: CompileJob | None = None):
+        """Rebuild the full :class:`~repro.mapping.base.RoutingResult`.
+
+        The routed circuit and every metric come from this outcome; the
+        original circuit is not stored here, so pass the originating ``job``
+        (its ``qasm`` is the original) — it is only optional for summaries
+        that already embed ``original_qasm``.
+        """
+        from repro.mapping.base import RoutingResult
+        from repro.qasm.parser import parse_qasm
+
+        if not self.ok:
+            raise ValueError(f"job failed ({self.error_type}): {self.error}")
+        data = dict(self.summary)
+        data["routed_qasm"] = self.routed_qasm
+        if job is None and "original_qasm" not in data:
+            raise ValueError(
+                "service outcomes do not embed the original circuit; pass "
+                "the originating CompileJob: outcome.routing_result(job)")
+        original = None
+        if job is not None:
+            original = parse_qasm(job.qasm, name=job.circuit_name)
+        return RoutingResult.from_summary(data, original=original)

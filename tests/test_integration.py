@@ -9,6 +9,8 @@ cases) push it through the noisy simulator.
 import pytest
 
 from repro.arch.devices import get_device, paper_devices
+
+pytestmark = pytest.mark.slow
 from repro.arch.durations import GateDurationMap
 from repro.core.circuit import Circuit
 from repro.mapping.codar.remapper import CodarRouter

@@ -154,3 +154,78 @@ class TestCli:
         assert main(["scaling", "--qubits", "6", "--gates", "40", "80"]) == 0
         out = capsys.readouterr().out
         assert "us_per_gate" in out and "Growth factors" in out
+
+
+class TestBatchCli:
+    def test_batch_requires_circuits(self, capsys):
+        assert main(["batch"]) == 2
+        assert "no circuits" in capsys.readouterr().err
+
+    def test_batch_rejects_unknown_router(self, capsys):
+        assert main(["batch", "--suite", "--max-qubits", "4",
+                     "--router", "bogus"]) == 2
+        assert "unknown router" in capsys.readouterr().err
+
+    def test_batch_over_files_and_suite(self, tmp_path, capsys):
+        qasm = tmp_path / "bell.qasm"
+        qasm.write_text("qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        code = main(["batch", str(qasm), "--suite", "--max-qubits", "3",
+                     "--device", "ibm_q20_tokyo", "--device", "ibm_q16_melbourne",
+                     "--router", "codar", "--router", "sabre"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "bell" in captured.out and "ghz_3" in captured.out
+        assert "0 failures" in captured.err
+
+    def test_batch_cache_warm_run_and_json(self, tmp_path, capsys):
+        import json as json_module
+
+        cache_dir = str(tmp_path / "cache")
+        out_file = str(tmp_path / "out.json")
+        argv = ["batch", "--suite", "--max-qubits", "3",
+                "--cache-dir", cache_dir, "--json", out_file]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "cached" in captured.out
+        assert "'hit_rate': 1.0" in captured.err
+        records = json_module.loads(open(out_file).read())
+        assert records and all(r["outcome"]["status"] == "ok" for r in records)
+
+    def test_batch_parametric_device(self, capsys):
+        assert main(["batch", "--suite", "--max-qubits", "3",
+                     "--device", "grid_2x2"]) == 0
+        assert "grid_2x2" in capsys.readouterr().out
+
+    def test_batch_reports_oversized_skips(self, tmp_path, capsys):
+        big = tmp_path / "big.qasm"
+        big.write_text("qreg q[25];\ncx q[0],q[24];\n")
+        assert main(["batch", str(big), "--device", "ibm_q20_tokyo"]) == 2
+        err = capsys.readouterr().err
+        assert "skipped: big (25q) does not fit ibm_q20_tokyo" in err
+        assert "every (circuit, device) combination was skipped" in err
+
+    def test_batch_malformed_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("qreg q[2];\ncx q[0],q[9];\n")
+        assert main(["batch", str(bad)]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_cache_command_reports_and_clears(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", "--suite", "--max-qubits", "3",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "entries   : 0" not in out
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "entries   : 0" in capsys.readouterr().out
+
+    def test_speedup_parser_accepts_service_options(self):
+        args = build_parser().parse_args(["speedup", "--workers", "4",
+                                          "--cache-dir", "/tmp/c"])
+        assert args.workers == 4 and args.cache_dir == "/tmp/c"
