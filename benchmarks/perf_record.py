@@ -1,0 +1,72 @@
+"""Machine-readable perf records: the repo's benchmark trajectory.
+
+Benchmark harnesses call :func:`record_perf` with a section name and a flat
+payload of numbers; records are merged into one JSON file (default
+``BENCH_service.json`` at the repo root, override with the
+``REPRO_BENCH_RECORD`` environment variable) so successive PRs can diff
+throughput instead of re-reading pytest output.  The file is committed after
+a benchmark run — treat it like a lockfile for performance.
+
+Schema::
+
+    {
+      "schema_version": 1,
+      "records": {
+        "<section>": {..payload.., "recorded_at": <iso8601>,
+                      "cpu_count": N, "python": "3.x.y"}
+      }
+    }
+
+Writes are atomic (temp file + ``os.replace``) and merge-on-write, so harness
+files can record independent sections in any order.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+_DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def record_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_RECORD", _DEFAULT_PATH))
+
+
+def load_records(path: Path | None = None) -> dict:
+    """The current record file content, or a fresh skeleton."""
+    target = path or record_path()
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and isinstance(data.get("records"), dict):
+            return data
+    except (OSError, ValueError):
+        pass
+    return {"schema_version": SCHEMA_VERSION, "records": {}}
+
+
+def record_perf(section: str, payload: dict, path: Path | None = None) -> Path:
+    """Merge one benchmark record under ``section`` and write atomically."""
+    target = path or record_path()
+    data = load_records(target)
+    data["schema_version"] = SCHEMA_VERSION
+    data["records"][section] = {
+        **payload,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    tmp = target.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, target)
+    print(f"perf record [{section}] -> {target}", file=sys.stderr)
+    return target

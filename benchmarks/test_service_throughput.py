@@ -7,7 +7,9 @@ evaluation architectures) through the service three ways:
 * ``parallel4``  — cache misses fanned across 4 worker processes,
 * ``warm_cache`` — every job answered from a pre-warmed on-disk cache.
 
-Each mode records jobs/sec in ``extra_info``.  The parallel > serial
+Each mode records jobs/sec in ``extra_info`` *and* in the repo's
+machine-readable perf record (``BENCH_service.json``, see ``perf_record.py``)
+so the benchmark trajectory is diffable across PRs.  The parallel > serial
 assertion only fires on multi-core machines (process fan-out cannot beat a
 single core); the warm-cache mode must always answer ≥ 95% of jobs from cache
 and replay outcomes byte-identically.
@@ -18,6 +20,7 @@ import time
 
 import pytest
 
+from perf_record import record_perf
 from repro.service import CompilationService, ResultCache, make_job
 from repro.workloads.suite import benchmark_suite
 
@@ -67,13 +70,17 @@ def test_service_throughput(benchmark, mode, tmp_path, paper_scale):
     benchmark.extra_info["jobs_per_s"] = round(rate, 2)
     print(f"\nservice throughput [{mode}]: {len(jobs)} jobs "
           f"in {run.elapsed:.2f}s = {rate:.1f} jobs/s")
+    record = {"jobs": len(jobs), "elapsed_s": round(run.elapsed, 3),
+              "jobs_per_s": round(rate, 2), "paper_scale": paper_scale}
 
     if mode == "warm_cache":
         hits = sum(1 for outcome in outcomes if outcome.cache_hit)
         hit_rate = hits / len(outcomes)
         benchmark.extra_info["cache_hit_rate"] = hit_rate
+        record["cache_hit_rate"] = round(hit_rate, 4)
         print(f"  cache hit rate {hit_rate:.0%}")
         assert hit_rate >= 0.95
+    record_perf(f"service_throughput/{mode}", record)
 
 
 def test_parallel_beats_serial_on_multicore(tmp_path, paper_scale):

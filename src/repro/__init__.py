@@ -16,7 +16,10 @@ qubit mapping problem on NISQ devices.  This package provides:
   (:mod:`repro.experiments`), and
 * a batch compilation service with process-parallel execution, a
   content-addressed result cache and pluggable router/device registries
-  (:mod:`repro.service`).
+  (:mod:`repro.service`), and
+* an online compilation server — priority queue with job coalescing,
+  worker-pool scheduler, Prometheus metrics and a stdlib HTTP JSON API
+  (:mod:`repro.server`).
 
 Quickstart
 ----------
@@ -58,8 +61,9 @@ from repro.mapping.layout import Layout
 from repro.passes.pipeline import transpile
 from repro.service import (CompilationService, CompileJob, CompileOutcome,
                            ResultCache, compile_batch, compile_one, sweep)
+from repro.server import CompileClient, CompileServer
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Circuit",
@@ -82,5 +86,7 @@ __all__ = [
     "compile_one",
     "compile_batch",
     "sweep",
+    "CompileServer",
+    "CompileClient",
     "__version__",
 ]

@@ -12,8 +12,17 @@ Usage (``python -m repro.cli <command> ...``):
   result caching (``--cache-dir``).
 * ``cache --cache-dir PATH [--clear]``
   Inspect (or wipe) an on-disk compilation cache.
+* ``serve [--host H] [--port P] [--server-workers N] [--cache-dir PATH]``
+  Run the online compilation server: an HTTP JSON API with a priority queue,
+  job coalescing, admission control and Prometheus ``/metrics``.
+* ``submit FILES ... --url URL --device D --router R [--priority N] [--async]``
+  Submit circuits to a running server and (by default) wait for the outcomes.
+* ``status --url URL [KEY]``
+  Server health + metrics snapshot, or one job's status when KEY is given.
 * ``devices``
   List the registered device models and their coupling statistics.
+* ``routers``
+  List the registered routers from the service registry.
 * ``speedup [--full] [--arch NAME ...]``
   Run the Fig. 8 speedup sweep and print the per-architecture averages.
 * ``fidelity``
@@ -36,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 
@@ -199,6 +209,117 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_routers(_args: argparse.Namespace) -> int:
+    for name in ROUTERS.names():
+        print(f"{name:<20s} {ROUTERS.describe(name)}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import CompileServer
+
+    # Cap the memory tier even with a disk cache: the server must stay flat.
+    cache = (ResultCache(args.cache_dir, max_entries=1024)
+             if args.cache_dir else None)
+    server = CompileServer(host=args.host, port=args.port,
+                           workers=args.server_workers, cache=cache,
+                           max_depth=args.max_depth,
+                           job_timeout=args.job_timeout,
+                           verbose=args.verbose)
+    server.start()
+    print(f"# serving on {server.url} "
+          f"({args.server_workers} workers, "
+          f"queue depth <= {args.max_depth}, "
+          f"cache={'disk:' + args.cache_dir if args.cache_dir else 'memory'})",
+          file=sys.stderr)
+    print(f"# endpoints: POST /jobs, GET /jobs/<key>, GET /results/<key>, "
+          f"GET /metrics, GET /healthz", file=sys.stderr)
+
+    def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover — not the main thread
+        pass
+    try:
+        server.serve_forever()
+    finally:
+        print("# server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server.client import CompileClient, ServerError
+
+    try:
+        circuits = [parse_qasm_file(path) for path in args.files]
+    except (OSError, QasmError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = CompileClient(args.url)
+    failures = 0
+    try:
+        for circuit in circuits:
+            job = make_job(circuit, args.device, args.router,
+                           layout_strategy=args.layout, seed=args.seed)
+            if getattr(args, "async"):
+                reply = client.submit(job, priority=args.priority)
+                print(f"{job.circuit_name:<22s} {reply['status']:<8s} "
+                      f"coalesced={reply['coalesced']} key={reply['key']}")
+                continue
+            outcome = client.compile(job, priority=args.priority,
+                                     timeout=args.timeout)
+            flag = "cached" if outcome.cache_hit else (
+                "ok" if outcome.ok else "ERROR")
+            if outcome.ok:
+                summary = outcome.summary
+                print(f"{job.circuit_name:<22s} {flag:<6s} "
+                      f"swaps={summary['swaps']:<5d} "
+                      f"wd={summary['weighted_depth']:<9.1f} key={job.key}")
+            else:
+                failures += 1
+                print(f"{job.circuit_name:<22s} {flag:<6s} "
+                      f"{outcome.error_type}: {outcome.error}")
+    except (ServerError, OSError, TimeoutError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if failures == 0 else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url)
+    try:
+        if args.key:
+            print(json.dumps(client.status(args.key), indent=2, sort_keys=True))
+            return 0
+        health = client.health()
+        metrics = health.pop("metrics", {})
+        print(f"server     : {args.url} ({health['status']}, "
+              f"up {health['uptime_s']}s)")
+        print(f"workers    : {health['workers']}  "
+              f"queue depth: {health['queue_depth']}  "
+              f"in flight: {health['jobs_in_flight']}")
+        print(f"jobs       : submitted={metrics.get('submitted', 0)} "
+              f"completed={metrics.get('completed', 0)} "
+              f"failed={metrics.get('failed', 0)} "
+              f"coalesced={metrics.get('coalesced', 0)} "
+              f"rejected={metrics.get('rejected', 0)}")
+        wait = metrics.get("wait_seconds", {})
+        service = metrics.get("service_seconds", {})
+        print(f"wait       : p50={wait.get('p50', 0)}s "
+              f"p95={wait.get('p95', 0)}s (n={wait.get('count', 0)})")
+        print(f"service    : p50={service.get('p50', 0)}s "
+              f"p95={service.get('p95', 0)}s (n={service.get('count', 0)})")
+        print(f"cache      : {health.get('cache')}")
+        return 0
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_speedup(args: argparse.Namespace) -> int:
     kwargs = {}
     if not args.full:
@@ -272,7 +393,11 @@ def _add_study_options(parser: argparse.ArgumentParser, max_qubits: int) -> None
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     route = sub.add_parser("route", help="route an OpenQASM file onto a device")
@@ -319,6 +444,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     devices = sub.add_parser("devices", help="list registered device models")
     devices.set_defaults(func=_cmd_devices)
+
+    routers = sub.add_parser("routers", help="list registered routers")
+    routers.set_defaults(func=_cmd_routers)
+
+    serve = sub.add_parser("serve", help="run the online compilation server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--server-workers", type=int, default=2,
+                       help="scheduler worker threads")
+    serve.add_argument("--cache-dir",
+                       help="on-disk result cache (default: in-memory LRU)")
+    serve.add_argument("--max-depth", type=int, default=256,
+                       help="queue admission bound (full queue => HTTP 429)")
+    serve.add_argument("--job-timeout", type=float,
+                       help="per-job wall-clock bound in seconds")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit",
+                            help="submit circuits to a running server")
+    submit.add_argument("files", nargs="+", help="OpenQASM 2.0 input files")
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="server base URL")
+    submit.add_argument("--device", default="ibm_q20_tokyo",
+                        help="target device (accepts parametric names)")
+    submit.add_argument("--router", default="codar",
+                        help=f"router spec; known: {ROUTERS.names()}")
+    submit.add_argument("--layout", default="reverse_traversal")
+    submit.add_argument("--seed", type=int, help="seed for seeded layouts")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (lower runs first)")
+    submit.add_argument("--timeout", type=float, default=60.0,
+                        help="per-job wait timeout in seconds")
+    submit.add_argument("--async", action="store_true",
+                        help="enqueue and print job keys instead of waiting")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status",
+                            help="server health or one job's status")
+    status.add_argument("key", nargs="?", help="job key (omit for health)")
+    status.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="server base URL")
+    status.set_defaults(func=_cmd_status)
 
     speedup = sub.add_parser("speedup", help="run the Fig. 8 speedup sweep")
     speedup.add_argument("--full", action="store_true")

@@ -1,0 +1,157 @@
+"""Thin ``urllib`` client for the compile server's JSON API.
+
+No third-party HTTP stack: requests are built with
+:mod:`urllib.request`, errors surface as :class:`ServerError` carrying the
+HTTP status and the server's parsed error body.  The client is what the CLI's
+``repro submit`` / ``repro status`` commands and the end-to-end tests use, and
+doubles as the reference for talking to the server from any language — every
+call is one JSON request.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.jobs import CompileJob, CompileOutcome
+
+
+class ServerError(RuntimeError):
+    """An HTTP error reply from the compile server."""
+
+    def __init__(self, status: int, message: str, payload: dict | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class CompileClient:
+    """Talk to a :class:`~repro.server.http.CompileServer` over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8642"`` (a trailing slash is fine).
+    timeout:
+        Socket timeout per request, seconds.  Blocking submits add the
+        job wait on top, so their socket timeout is extended accordingly.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, body: dict | None = None, *,
+                 timeout: float | None = None) -> tuple[int, dict | str]:
+        request = urllib.request.Request(self.base_url + path, method=method)
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, data=data,
+                                        timeout=timeout or self.timeout) as reply:
+                return reply.status, self._decode(reply)
+        except urllib.error.HTTPError as exc:
+            payload = self._decode(exc)
+            message = (payload.get("error", str(exc))
+                       if isinstance(payload, dict) else str(exc))
+            raise ServerError(exc.code, message,
+                              payload if isinstance(payload, dict) else None
+                              ) from None
+
+    @staticmethod
+    def _decode(reply) -> dict | str:
+        text = reply.read().decode("utf-8", errors="replace")
+        if "application/json" in (reply.headers.get("Content-Type") or ""):
+            try:
+                return json.loads(text)
+            except ValueError:
+                pass
+        return text
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: CompileJob | dict, *, priority: int = 0,
+               wait: bool = False, timeout: float = 30.0) -> dict:
+        """``POST /jobs``.
+
+        Returns the server's reply dict: ``{key, status, coalesced}`` for a
+        non-blocking submit, or ``{key, coalesced, cache_hit, outcome}`` when
+        ``wait=True`` resolved within ``timeout`` seconds.
+        """
+        body = {"job": job.to_dict() if isinstance(job, CompileJob) else job,
+                "priority": priority, "wait": wait, "timeout": timeout}
+        socket_timeout = self.timeout + (timeout if wait else 0.0)
+        _, payload = self._request("POST", "/jobs", body,
+                                   timeout=socket_timeout)
+        return payload  # type: ignore[return-value]
+
+    def status(self, key: str) -> dict:
+        """``GET /jobs/<key>`` — the ticket snapshot."""
+        _, payload = self._request("GET", f"/jobs/{key}")
+        return payload  # type: ignore[return-value]
+
+    def result(self, key: str, *, wait: bool = False,
+               timeout: float = 30.0, poll_interval: float = 0.05) -> dict:
+        """``GET /results/<key>``; with ``wait``, poll until it is ready.
+
+        Raises :class:`TimeoutError` if the result is still pending after
+        ``timeout`` seconds, and :class:`ServerError` (404) for unknown keys.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self._request("GET", f"/results/{key}")
+            if status == 200:
+                return payload  # type: ignore[return-value]
+            if not wait:
+                raise ServerError(status, f"job {key!r} is still pending",
+                                  payload if isinstance(payload, dict) else None)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {key!r} still pending after {timeout}s")
+            time.sleep(poll_interval)
+
+    def outcome(self, key: str, *, wait: bool = False,
+                timeout: float = 30.0) -> CompileOutcome:
+        """Like :meth:`result` but rebuilt into a :class:`CompileOutcome`."""
+        payload = self.result(key, wait=wait, timeout=timeout)
+        outcome = CompileOutcome.from_dict(payload["outcome"])
+        outcome.cache_hit = bool(payload.get("cache_hit"))
+        return outcome
+
+    def compile(self, job: CompileJob | dict, *, priority: int = 0,
+                timeout: float = 60.0) -> CompileOutcome:
+        """Submit-and-wait convenience: one call, one finished outcome."""
+        reply = self.submit(job, priority=priority, wait=True, timeout=timeout)
+        if "outcome" in reply:
+            outcome = CompileOutcome.from_dict(reply["outcome"])
+            outcome.cache_hit = bool(reply.get("cache_hit"))
+            return outcome
+        # The wait timed out server-side; keep waiting client-side.
+        return self.outcome(reply["key"], wait=True, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        _, payload = self._request("GET", "/healthz")
+        return payload  # type: ignore[return-value]
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition."""
+        _, payload = self._request("GET", "/metrics")
+        return payload  # type: ignore[return-value]
+
+    def metrics(self) -> dict[str, float]:
+        """Parsed sample lines from ``/metrics`` (no labels ⇒ plain name)."""
+        samples: dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                samples[name] = float(value)
+            except ValueError:
+                continue
+        return samples

@@ -1,0 +1,269 @@
+"""Stdlib-only HTTP JSON API in front of the scheduler.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /jobs`` — submit a job.  Body: a :meth:`CompileJob.to_dict` payload,
+  either bare or under ``"job"``, plus optional ``"priority"`` (int, lower
+  runs first), ``"wait"`` (bool) and ``"timeout"`` (seconds, with ``wait``).
+  Replies ``202`` with ``{key, status, coalesced}`` on admission, ``200`` with
+  the outcome when ``wait`` resolved in time, ``429`` when the queue is full,
+  ``400`` on a malformed job and ``503`` once shutdown has begun.
+* ``GET /jobs/<key>`` — ticket status snapshot; ``404`` for unknown keys.
+* ``GET /results/<key>`` — ``{key, cache_hit, outcome}`` when finished
+  (recent ticket or result cache), ``202`` while in flight, ``404`` unknown.
+* ``GET /metrics`` — Prometheus text exposition (``text/plain``).
+* ``GET /healthz`` — liveness plus a metrics/cache snapshot.
+
+The server is a ``ThreadingHTTPServer``: each request gets a thread, so a
+blocking ``wait`` submit does not starve status polls.  :class:`CompileServer`
+bundles queue + scheduler + HTTP into one object with ``start``/``stop`` and
+context-manager support; ``port=0`` binds an ephemeral port (see ``.url``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.server.metrics import ServerMetrics
+from repro.server.queue import JobQueue, QueueClosedError, QueueFullError
+from repro.server.scheduler import Scheduler
+from repro.service.cache import ResultCache
+from repro.service.executor import CompilationService
+from repro.service.jobs import CompileJob
+
+#: Cap on request bodies; the largest suite QASM is ~100 kB.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Longest a single blocking-wait submit may hold its request thread.
+MAX_WAIT_S = 300.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`CompileServer` (``server.app``)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-server"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def app(self) -> "CompileServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if self.app.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict | str, *,
+               content_type: str = "application/json") -> None:
+        body = (payload if isinstance(payload, str)
+                else json.dumps(payload, sort_keys=True)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            # The body stays unread, so the keep-alive stream is desynced;
+            # make the client reconnect instead of parsing body bytes as a
+            # request line.
+            self.close_connection = True
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "JSON body must be an object")
+            return None
+        return payload
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, self.app.health())
+        elif path == "/metrics":
+            self._reply(200, self.app.metrics.to_prometheus(),
+                        content_type="text/plain; version=0.0.4")
+        elif path.startswith("/jobs/"):
+            self._get_job(path[len("/jobs/"):])
+        elif path.startswith("/results/"):
+            self._get_result(path[len("/results/"):])
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def _get_job(self, key: str) -> None:
+        ticket = self.app.scheduler.lookup(key)
+        if ticket is None:
+            self._error(404, f"unknown job {key!r}")
+        else:
+            self._reply(200, ticket.snapshot())
+
+    def _get_result(self, key: str) -> None:
+        outcome = self.app.scheduler.lookup_result(key)
+        if outcome is not None:
+            self._reply(200, {"key": key, "cache_hit": outcome.cache_hit,
+                              "outcome": outcome.to_dict()})
+        elif self.app.scheduler.lookup(key) is not None:
+            self._reply(202, {"key": key, "status": "pending"})
+        else:
+            self._error(404, f"no result for job {key!r}")
+
+    # ------------------------------------------------------------------ #
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        job_data = payload.get("job", payload)
+        try:
+            job = CompileJob.from_dict(job_data)
+            priority = int(payload.get("priority", 0))
+            wait = bool(payload.get("wait", False))
+            timeout = min(float(payload.get("timeout", 30.0)), MAX_WAIT_S)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._error(400, f"bad job payload: {exc}")
+            return
+        try:
+            ticket, coalesced = self.app.scheduler.submit(job, priority)
+        except QueueFullError as exc:
+            self._error(429, str(exc))
+            return
+        except QueueClosedError as exc:
+            self._error(503, str(exc))
+            return
+        if wait:
+            outcome = ticket.wait(timeout)
+            if outcome is not None:
+                self._reply(200, {"key": ticket.key, "coalesced": coalesced,
+                                  "cache_hit": outcome.cache_hit,
+                                  "outcome": outcome.to_dict()})
+                return
+        self._reply(202, {"key": ticket.key, "status": ticket.state,
+                          "coalesced": coalesced,
+                          "queue_depth": self.app.queue.depth})
+
+
+class CompileServer:
+    """Queue + scheduler + HTTP API bundled into one online server.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read ``.url``).
+    workers:
+        Scheduler worker threads.
+    cache:
+        :class:`ResultCache` for warm hits; defaults to a memory-only LRU
+        of ``default_cache_entries`` so a long-running server is bounded.
+        Pass an on-disk cache to survive restarts.
+    max_depth:
+        Queue admission bound (``None`` = unbounded).
+    job_timeout:
+        Per-job wall-clock bound in seconds (``None`` = unbounded).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 workers: int = 2, cache: ResultCache | None = None,
+                 max_depth: int | None = 256,
+                 job_timeout: float | None = None,
+                 default_cache_entries: int = 1024,
+                 verbose: bool = False):
+        self.verbose = verbose
+        if cache is None:
+            cache = ResultCache(max_entries=default_cache_entries)
+        self.cache = cache
+        self.service = CompilationService(cache=cache)
+        self.queue = JobQueue(max_depth=max_depth)
+        self.metrics = ServerMetrics()
+        self.scheduler = Scheduler(self.service, queue=self.queue,
+                                   workers=workers, job_timeout=job_timeout,
+                                   metrics=self.metrics)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._http_thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def health(self) -> dict:
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        return {
+            "status": "ok",
+            "uptime_s": round(uptime, 3),
+            "workers": self.scheduler.workers,
+            "queue_depth": self.queue.depth,
+            "jobs_in_flight": self.scheduler.active,
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "CompileServer":
+        if self._http_thread is not None:
+            raise RuntimeError("server is already running")
+        self.scheduler.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name="repro-server-http")
+        self._http_thread.start()
+        self._started_at = time.monotonic()
+        return self
+
+    def stop(self, graceful: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests, then wind the scheduler down."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout)
+            self._http_thread = None
+        self.scheduler.stop(graceful=graceful, timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Foreground mode for the CLI: block until interrupted."""
+        if self._http_thread is None:
+            self.start()
+        try:
+            while True:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "CompileServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

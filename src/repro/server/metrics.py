@@ -1,0 +1,186 @@
+"""Server metrics: counters, gauges and latency histograms.
+
+Everything is stdlib and lock-protected, and renders two ways:
+
+* :meth:`ServerMetrics.to_prometheus` — the Prometheus text exposition format
+  served at ``GET /metrics`` (counters as ``_total``, histograms as
+  ``_bucket``/``_sum``/``_count`` plus precomputed ``_p50``/``_p95`` gauges),
+* :meth:`ServerMetrics.snapshot` — a JSON-friendly dict embedded in
+  ``GET /healthz`` and the CLI's ``repro status``.
+
+The histogram uses fixed log-spaced bucket bounds, so percentiles are
+upper-bound estimates (the canonical Prometheus trade-off): cheap to record
+under a lock on the hot path, mergeable, and accurate to within one bucket.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Sequence
+
+#: Log-spaced seconds from 0.5 ms to ~2 min; compile jobs and queue waits
+#: both land comfortably inside this range.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with percentile estimates."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # counts[i] pairs with bounds[i]; the final slot is the +Inf bucket.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    # ------------------------------------------------------------------ #
+    def percentile(self, fraction: float) -> float:
+        """Upper-bound estimate of the ``fraction`` quantile (0 < f <= 1).
+
+        Returns the smallest bucket bound whose cumulative count covers the
+        requested fraction; observations past the last bound report the last
+        finite bound (an under-estimate, flagged by ``+Inf`` bucket counts).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self._counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return bound
+        return self.bounds[-1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self._counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((float("inf"), self.count))
+        return pairs
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "sum": round(self.sum, 6),
+                "mean": round(self.mean, 6),
+                "p50": self.percentile(0.50), "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99)}
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class ServerMetrics:
+    """All counters/gauges/histograms for one compile server instance.
+
+    Counters
+    --------
+    submitted / coalesced / rejected count admissions; completed / failed /
+    cache_hits count outcomes (``completed`` includes failures, mirroring the
+    service's executed-vs-errors split).  Gauges are supplied by callables so
+    the server wires live queue depth and in-flight counts in one place.
+    """
+
+    COUNTERS = ("submitted", "completed", "failed", "coalesced",
+                "cache_hits", "rejected")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in self.COUNTERS}
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self.wait_seconds = Histogram()
+        self.service_seconds = Histogram()
+
+    # ------------------------------------------------------------------ #
+    def increment(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += amount
+
+    def observe_job(self, wait_s: float | None, service_s: float | None,
+                    *, ok: bool, cache_hit: bool, coalesced: int = 0) -> None:
+        """Record one finished job in a single locked update."""
+        with self._lock:
+            self._counters["completed"] += 1
+            if not ok:
+                self._counters["failed"] += 1
+            if cache_hit:
+                self._counters["cache_hits"] += 1
+            if coalesced:
+                self._counters["coalesced"] += coalesced
+            if wait_s is not None:
+                self.wait_seconds.observe(wait_s)
+            if service_s is not None:
+                self.service_seconds.observe(service_s)
+
+    def register_gauge(self, name: str, supplier: Callable[[], float]) -> None:
+        with self._lock:
+            self._gauges[name] = supplier
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        with self._lock:
+            data = dict(self._counters)
+            data["wait_seconds"] = self.wait_seconds.as_dict()
+            data["service_seconds"] = self.service_seconds.as_dict()
+            gauges = {name: supplier() for name, supplier
+                      in self._gauges.items()}
+        data.update(gauges)
+        return data
+
+    def to_prometheus(self, prefix: str = "repro_server") -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            for name in self.COUNTERS:
+                metric = f"{prefix}_jobs_{name}_total"
+                lines.append(f"# HELP {metric} Jobs {name} since server start.")
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {self._counters[name]}")
+            gauges = {name: supplier() for name, supplier
+                      in self._gauges.items()}
+            histograms = (("job_wait_seconds", self.wait_seconds,
+                           "Queue wait before a worker picked the job up"),
+                          ("job_service_seconds", self.service_seconds,
+                           "Execution time on a worker"))
+            for name, value in gauges.items():
+                metric = f"{prefix}_{name}"
+                lines.append(f"# HELP {metric} Current {name.replace('_', ' ')}.")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_format_value(value)}")
+            for name, histogram, help_text in histograms:
+                metric = f"{prefix}_{name}"
+                lines.append(f"# HELP {metric} {help_text}.")
+                lines.append(f"# TYPE {metric} histogram")
+                for bound, cumulative in histogram.cumulative_buckets():
+                    lines.append(f'{metric}_bucket{{le="{_format_value(bound)}"}}'
+                                 f" {cumulative}")
+                lines.append(f"{metric}_sum {_format_value(histogram.sum)}")
+                lines.append(f"{metric}_count {histogram.count}")
+                for label, fraction in (("p50", 0.50), ("p95", 0.95)):
+                    lines.append(f"# TYPE {metric}_{label} gauge")
+                    lines.append(f"{metric}_{label} "
+                                 f"{_format_value(histogram.percentile(fraction))}")
+        return "\n".join(lines) + "\n"

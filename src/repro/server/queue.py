@@ -1,0 +1,259 @@
+"""Thread-safe priority job queue with coalescing and admission control.
+
+The queue is the server's front door.  Three properties matter:
+
+* **Priority** — entries are a min-heap on ``(priority, sequence)``: lower
+  ``priority`` values run first, ties run in submission order, so the queue
+  degrades to FIFO when every caller uses the default priority.
+* **Coalescing** — a :class:`~repro.service.jobs.CompileJob` is content-
+  addressed by :attr:`~repro.service.jobs.CompileJob.key`, so two concurrent
+  submissions of the same spec are *the same work*.  While a key is queued or
+  running, further submissions attach to the existing :class:`JobTicket`
+  instead of enqueuing a duplicate; every waiter sees the one shared outcome.
+  This is the conflict-avoidance idea: identical in-flight requests never
+  collide on the workers.
+* **Admission control** — ``max_depth`` bounds the number of *queued* (not yet
+  running) entries; beyond it :meth:`submit` raises :class:`QueueFullError`,
+  which the HTTP layer maps to ``429 Too Many Requests``.  A bounded queue
+  keeps latency honest under overload instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.service.jobs import CompileJob, CompileOutcome
+
+#: Ticket lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`JobQueue.submit` when the queue is at ``max_depth``."""
+
+
+class QueueClosedError(RuntimeError):
+    """Raised by :meth:`JobQueue.submit` after :meth:`JobQueue.close`."""
+
+
+class JobTicket:
+    """One unit of queued work, shared by every coalesced submitter.
+
+    A ticket is created by the first submission of a job key and handed back
+    to every later submission of the same key while the job is in flight;
+    all of them :meth:`wait` on the same event and read the same ``outcome``.
+    """
+
+    def __init__(self, job: CompileJob, priority: int, sequence: int):
+        self.job = job
+        self.key = job.key
+        self.priority = priority
+        self.sequence = sequence
+        self.state = QUEUED
+        self.outcome: CompileOutcome | None = None
+        #: How many *extra* submissions attached to this ticket.
+        self.coalesced = 0
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    def wait(self, timeout: float | None = None) -> CompileOutcome | None:
+        """Block until the job finishes; ``None`` on timeout."""
+        self._done.wait(timeout)
+        return self.outcome
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queue time: submission until a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def service_seconds(self) -> float | None:
+        """Execution time: worker pick-up until completion."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def snapshot(self) -> dict:
+        """JSON-friendly status record (the ``GET /jobs/<key>`` body)."""
+        record = {
+            "key": self.key,
+            "status": self.state,
+            "priority": self.priority,
+            "circuit": self.job.circuit_name,
+            "device": self.job.device["name"],
+            "router": self.job.router["name"],
+            "coalesced": self.coalesced,
+        }
+        if self.wait_seconds is not None:
+            record["wait_s"] = round(self.wait_seconds, 6)
+        if self.service_seconds is not None:
+            record["service_s"] = round(self.service_seconds, 6)
+        if self.outcome is not None:
+            record["cache_hit"] = self.outcome.cache_hit
+        return record
+
+
+class JobQueue:
+    """Priority queue of :class:`JobTicket` with coalescing on the job key.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of queued (not yet running) tickets; ``None`` means
+        unbounded.  Coalesced submissions never count against the bound —
+        attaching to in-flight work is free by construction.
+    """
+
+    def __init__(self, max_depth: int | None = None):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        # Heap entries may be stale: a priority escalation re-pushes its
+        # ticket and pop() skips entries whose ticket already left QUEUED,
+        # so `_queued` (distinct queued tickets) is the real depth.
+        self._heap: list[tuple[int, int, JobTicket]] = []
+        self._queued = 0
+        #: Tickets that can still be coalesced onto (queued or running).
+        self._in_flight: dict[str, JobTicket] = {}
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._sequence = itertools.count()
+        self._closed = False
+        self._drain = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet running) tickets."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def in_flight(self) -> int:
+        """Queued + running tickets (everything a submit could attach to)."""
+        with self._lock:
+            return len(self._in_flight)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: CompileJob, priority: int = 0
+               ) -> tuple[JobTicket, bool]:
+        """Enqueue ``job`` (or attach to its in-flight twin).
+
+        Returns ``(ticket, coalesced)``: ``coalesced`` is ``True`` when the
+        submission attached to an existing queued/running ticket for the same
+        job key instead of enqueuing new work.  A coalesced submission with a
+        *more urgent* priority escalates the queued ticket to it, so an
+        urgent client is never held back by its earlier, lazier twin.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosedError("queue is closed to new submissions")
+            ticket = self._in_flight.get(job.key)
+            if ticket is not None:
+                ticket.coalesced += 1
+                if ticket.state == QUEUED and priority < ticket.priority:
+                    # Escalate: re-push at the better priority; the old heap
+                    # entry goes stale and pop() skips it.
+                    ticket.priority = priority
+                    heapq.heappush(self._heap,
+                                   (priority, next(self._sequence), ticket))
+                    self._not_empty.notify()
+                return ticket, True
+            if self.max_depth is not None and self._queued >= self.max_depth:
+                raise QueueFullError(
+                    f"queue is full ({self.max_depth} jobs deep); retry later")
+            ticket = JobTicket(job, priority, next(self._sequence))
+            heapq.heappush(self._heap, (priority, ticket.sequence, ticket))
+            self._queued += 1
+            self._in_flight[job.key] = ticket
+            self._not_empty.notify()
+            return ticket, False
+
+    def pop(self, timeout: float | None = None) -> JobTicket | None:
+        """Take the most urgent ticket, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout, or when the queue is closed and (in
+        drain mode) empty.  The returned ticket is marked ``running`` and
+        remains coalescible until :meth:`finish`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                while not self._heap:
+                    if self._closed:
+                        return None
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return None
+                    self._not_empty.wait(remaining)
+                if self._closed and not self._drain:
+                    return None
+                _, _, ticket = heapq.heappop(self._heap)
+                if ticket.state != QUEUED:
+                    continue  # stale duplicate left by a priority escalation
+                self._queued -= 1
+                ticket.state = RUNNING
+                ticket.started_at = time.monotonic()
+                return ticket
+
+    def finish(self, ticket: JobTicket, outcome: CompileOutcome) -> None:
+        """Complete ``ticket``, waking every coalesced waiter."""
+        with self._lock:
+            ticket.outcome = outcome
+            ticket.finished_at = time.monotonic()
+            ticket.state = DONE if outcome.ok else FAILED
+            if self._in_flight.get(ticket.key) is ticket:
+                del self._in_flight[ticket.key]
+        ticket._done.set()
+
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True) -> None:
+        """Refuse new submissions; wake blocked :meth:`pop` callers.
+
+        With ``drain`` (the default) workers keep popping until the queue is
+        empty; without it, :meth:`pop` returns ``None`` immediately and the
+        caller is expected to :meth:`flush` the leftovers.
+        """
+        with self._not_empty:
+            self._closed = True
+            self._drain = drain
+            self._not_empty.notify_all()
+
+    def flush(self, reason: str = "server stopped") -> int:
+        """Fail every still-queued ticket so its waiters unblock."""
+        with self._lock:
+            # Dedupe: escalations leave a ticket in the heap twice.
+            leftovers = list({id(ticket): ticket for _, _, ticket
+                              in self._heap
+                              if ticket.state == QUEUED}.values())
+            self._heap.clear()
+            self._queued = 0
+            for ticket in leftovers:
+                if self._in_flight.get(ticket.key) is ticket:
+                    del self._in_flight[ticket.key]
+        for ticket in leftovers:
+            ticket.outcome = CompileOutcome(
+                job_key=ticket.key, status="error", error=reason,
+                error_type="QueueClosedError")
+            ticket.finished_at = time.monotonic()
+            ticket.state = FAILED
+            ticket._done.set()
+        return len(leftovers)

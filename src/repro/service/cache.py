@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
 
@@ -29,6 +31,7 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -41,6 +44,7 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "writes": self.writes, "corrupt": self.corrupt,
+                "evictions": self.evictions,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
@@ -53,27 +57,57 @@ class ResultCache:
         Root of the on-disk tier; ``None`` keeps the cache memory-only.
     memory:
         Keep a process-local dict in front of the disk tier (default).
+    max_entries:
+        LRU cap on the memory tier; the least-recently-*used* entry is
+        evicted once the tier exceeds it (counted in ``stats.evictions``).
+        ``None`` (the default) leaves the tier unbounded — fine for batch
+        runs, but a long-running server should set a cap so its footprint
+        stays flat.  Disk entries are never evicted: a memory-evicted key
+        that also lives on disk is only a cheap re-read away.
     """
 
     def __init__(self, directory: str | os.PathLike | None = None, *,
-                 memory: bool = True):
+                 memory: bool = True, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         # The memory tier stores serialised JSON, not dicts, so a caller
         # mutating a returned outcome can never corrupt later cache hits.
-        self._memory: dict[str, str] | None = {} if memory else None
+        self._memory: OrderedDict[str, str] | None = (
+            OrderedDict() if memory else None)
+        self.max_entries = max_entries
+        # Guards the memory tier: the online server shares one cache across
+        # scheduler workers and HTTP threads.  Disk writes need no lock —
+        # the temp-file + os.replace protocol is already concurrency-safe.
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 
+    def _remember(self, key: str, encoded: str) -> None:
+        """Insert into the memory tier, evicting LRU entries past the cap."""
+        assert self._memory is not None
+        with self._lock:
+            self._memory[key] = encoded
+            self._memory.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._memory) > self.max_entries:
+                    self._memory.popitem(last=False)
+                    self.stats.evictions += 1
+
     def get(self, key: str) -> dict | None:
         """The stored outcome dict, or ``None`` (counted as hit/miss)."""
-        if self._memory is not None and key in self._memory:
-            self.stats.hits += 1
-            return json.loads(self._memory[key])
+        if self._memory is not None:
+            with self._lock:
+                encoded = self._memory.get(key)
+                if encoded is not None:
+                    self._memory.move_to_end(key)  # refresh LRU recency
+                    self.stats.hits += 1
+                    return json.loads(encoded)
         if self.directory is not None:
             path = self._path(key)
             try:
@@ -85,36 +119,44 @@ class ResultCache:
                 pass
             except (OSError, ValueError, UnicodeDecodeError):
                 # Truncated/corrupt entry: heal by deleting and recomputing.
-                self.stats.corrupt += 1
+                with self._lock:
+                    self.stats.corrupt += 1
                 try:
                     path.unlink()
                 except OSError:
                     pass
             else:
                 if self._memory is not None:
-                    self._memory[key] = json.dumps(data, sort_keys=True)
-                self.stats.hits += 1
+                    self._remember(key, json.dumps(data, sort_keys=True))
+                with self._lock:
+                    self.stats.hits += 1
                 return data
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
 
     def put(self, key: str, outcome: dict) -> None:
         """Store an outcome dict under ``key`` in every enabled tier."""
         encoded = json.dumps(outcome, sort_keys=True)
         if self._memory is not None:
-            self._memory[key] = encoded
+            self._remember(key, encoded)
         if self.directory is not None:
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}")
             with open(tmp, "w", encoding="utf-8") as handle:
                 handle.write(encoded)
             os.replace(tmp, path)
-        self.stats.writes += 1
+        with self._lock:
+            self.stats.writes += 1
 
     # ------------------------------------------------------------------ #
     def keys(self) -> set[str]:
-        found: set[str] = set(self._memory or ())
+        found: set[str] = set()
+        if self._memory is not None:
+            with self._lock:
+                found.update(self._memory)
         if self.directory is not None:
             found.update(p.stem for p in self.directory.glob("??/*.json"))
         return found
@@ -134,7 +176,8 @@ class ResultCache:
         """Drop every entry from every tier; returns the number removed."""
         removed = len(self)
         if self._memory is not None:
-            self._memory.clear()
+            with self._lock:
+                self._memory.clear()
         if self.directory is not None:
             for path in self.directory.glob("??/*.json"):
                 try:

@@ -1,10 +1,12 @@
 """Cache-focused coverage: accounting, cross-process key stability,
-corruption tolerance and spec-change invalidation."""
+corruption tolerance, spec-change invalidation, the memory-tier LRU cap
+and concurrent writers on the disk tier."""
 
 import json
 import os
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -196,3 +198,131 @@ class TestInvalidation:
         monkeypatch.setattr(jobs_module, "SCHEMA_VERSION",
                             jobs_module.SCHEMA_VERSION + 1)
         assert job.key != before
+
+
+# --------------------------------------------------------------------------- #
+# Memory-tier LRU cap (long-running servers must stay bounded)
+# --------------------------------------------------------------------------- #
+def _key(index: int) -> str:
+    return f"{index:02d}" + "a" * 62
+
+
+class TestLruCap:
+    def test_oldest_entry_is_evicted_past_the_cap(self):
+        cache = ResultCache(max_entries=2)
+        for index in range(3):
+            cache.put(_key(index), _outcome(_key(index)))
+        assert cache.get(_key(0)) is None  # evicted
+        assert cache.get(_key(1)) is not None
+        assert cache.get(_key(2)) is not None
+        assert cache.stats.evictions == 1
+        assert cache.stats.as_dict()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(_key(0), _outcome(_key(0)))
+        cache.put(_key(1), _outcome(_key(1)))
+        assert cache.get(_key(0)) is not None  # 0 is now most recent
+        cache.put(_key(2), _outcome(_key(2)))  # evicts 1, not 0
+        assert cache.get(_key(0)) is not None
+        assert cache.get(_key(1)) is None
+
+    def test_memory_stays_bounded_under_churn(self):
+        cache = ResultCache(max_entries=8)
+        for index in range(100):
+            cache.put(_key(index), _outcome(_key(index)))
+        assert len(cache) == 8
+        assert cache.stats.evictions == 92
+
+    def test_disk_tier_is_not_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        cache.put(_key(0), _outcome(_key(0)))
+        cache.put(_key(1), _outcome(_key(1)))
+        assert cache.stats.evictions == 1
+        # The memory slot is gone but the disk tier still answers (and the
+        # hit is promoted back into memory, evicting the other key).
+        assert cache.get(_key(0)) == _outcome(_key(0))
+        assert cache.stats.corrupt == 0
+
+    def test_unbounded_by_default(self):
+        cache = ResultCache()
+        for index in range(100):
+            cache.put(_key(index), _outcome(_key(index)))
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent writers on the disk tier (the online server's access pattern)
+# --------------------------------------------------------------------------- #
+class TestConcurrentWriters:
+    def test_concurrent_writers_to_distinct_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def write_many(worker: int):
+            try:
+                for index in range(20):
+                    key = f"{worker}{index:x}".ljust(64, "b")
+                    cache.put(key, _outcome(key))
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write_many, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert len(cache) == 80
+        fresh = ResultCache(tmp_path, memory=False)  # re-read from disk only
+        for worker in range(4):
+            for index in range(20):
+                key = f"{worker}{index:x}".ljust(64, "b")
+                assert fresh.get(key) == _outcome(key)
+        assert fresh.stats.corrupt == 0
+
+    def test_concurrent_writers_to_the_same_key(self, tmp_path):
+        # The server's coalescing makes this rare, but distinct processes
+        # may still race on one key; last-writer-wins with no torn reads.
+        cache = ResultCache(tmp_path, memory=False)
+        key = "cc" * 32
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait(10.0)
+                for _ in range(25):
+                    cache.put(key, _outcome(key))
+                    found = cache.get(key)
+                    assert found == _outcome(key)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert cache.stats.corrupt == 0
+        assert ResultCache(tmp_path, memory=False).get(key) == _outcome(key)
+
+    def test_no_stray_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        threads = [threading.Thread(
+            target=lambda w=w: cache.put(f"{w}{w}".ljust(64, "d"),
+                                         _outcome(f"{w}{w}".ljust(64, "d"))))
+            for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        strays = [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+        assert strays == []
