@@ -19,7 +19,9 @@ qubit mapping problem on NISQ devices.  This package provides:
   (:mod:`repro.service`), and
 * an online compilation server — priority queue with job coalescing,
   worker-pool scheduler, Prometheus metrics and a stdlib HTTP JSON API
-  (:mod:`repro.server`).
+  (:mod:`repro.server`), and
+* a racing router portfolio — candidate specs, pluggable cost models and a
+  persistent per-device autotuner (:mod:`repro.portfolio`).
 
 Quickstart
 ----------
@@ -60,10 +62,13 @@ from repro.mapping.base import RoutingResult
 from repro.mapping.layout import Layout
 from repro.passes.pipeline import transpile
 from repro.service import (CompilationService, CompileJob, CompileOutcome,
-                           ResultCache, compile_batch, compile_one, sweep)
+                           PortfolioJob, ResultCache, compile_batch,
+                           compile_one, sweep)
 from repro.server import CompileClient, CompileServer
+from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
+                             TuningStore, build_cost_model, portfolio_preset)
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Circuit",
@@ -88,5 +93,12 @@ __all__ = [
     "sweep",
     "CompileServer",
     "CompileClient",
+    "Candidate",
+    "PortfolioJob",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "TuningStore",
+    "build_cost_model",
+    "portfolio_preset",
     "__version__",
 ]

@@ -10,6 +10,9 @@ Usage (``python -m repro.cli <command> ...``):
   the compilation service: every (circuit, device, router) combination runs
   as one job, fanned across ``--workers`` processes with optional on-disk
   result caching (``--cache-dir``).
+* ``portfolio [FILES ...] [--suite] --device D [--preset fast|thorough|...]``
+  Race several candidate routers per circuit on the portfolio runner and
+  keep the cost-model winner; ``--tuner-file`` makes repeat traffic cheaper.
 * ``cache --cache-dir PATH [--clear]``
   Inspect (or wipe) an on-disk compilation cache.
 * ``serve [--host H] [--port P] [--server-workers N] [--cache-dir PATH]``
@@ -105,17 +108,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    try:
-        circuits = [parse_qasm_file(path) for path in args.files]
-    except (OSError, QasmError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.suite:
-        cases = benchmark_suite(max_qubits=args.max_qubits)
-        circuits.extend(case.build() for case in cases
-                        if args.max_gates is None or len(case.build()) <= args.max_gates)
-    if not circuits:
-        print("no circuits selected (pass FILES or --suite)", file=sys.stderr)
+    circuits = _collect_circuits(args)
+    if circuits is None:
         return 2
 
     devices = args.device or ["ibm_q20_tokyo"]
@@ -186,6 +180,89 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                        for job, outcome in zip(jobs, outcomes)],
                       handle, indent=2, sort_keys=True)
         print(f"# outcomes written to {args.json}", file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+def _collect_circuits(args: argparse.Namespace) -> list | None:
+    """FILES plus the optional ``--suite`` slice (shared by batch/portfolio)."""
+    try:
+        circuits = [parse_qasm_file(path) for path in args.files]
+    except (OSError, QasmError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if args.suite:
+        cases = benchmark_suite(max_qubits=args.max_qubits)
+        circuits.extend(case.build() for case in cases
+                        if args.max_gates is None
+                        or len(case.build()) <= args.max_gates)
+    if not circuits:
+        print("no circuits selected (pass FILES or --suite)", file=sys.stderr)
+        return None
+    return circuits
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.portfolio import PortfolioRunner, TuningStore, resolve_candidates
+
+    circuits = _collect_circuits(args)
+    if circuits is None:
+        return 2
+    try:
+        candidates = resolve_candidates(args.router or args.preset)
+        cost = (json.loads(args.cost) if args.cost.lstrip().startswith("{")
+                else args.cost)
+        spec = device_spec(args.device)
+        device = get_device(spec["name"], **spec["params"])
+        tuner = (TuningStore(args.tuner_file, max_candidates=args.tuner_keep)
+                 if args.tuner_file else None)
+        runner = PortfolioRunner(
+            cost, workers=args.workers,
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            tuner=tuner, beat_bound=args.beat_bound,
+            hedge_timeout=args.hedge_timeout)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures, records = 0, []
+    start = time.perf_counter()
+    with runner:
+        for circuit in circuits:
+            if circuit.num_qubits > device.num_qubits:
+                print(f"# skipped: {circuit.name} ({circuit.num_qubits}q) "
+                      f"does not fit {device.name} ({device.num_qubits}q)",
+                      file=sys.stderr)
+                continue
+            result = runner.run(circuit, spec, candidates=candidates,
+                                seed=args.seed)
+            stats = result.stats
+            if result.ok:
+                print(f"{result.circuit_name:<22s} "
+                      f"winner={result.winner.candidate.label:<28s} "
+                      f"score={result.score:<10.2f} "
+                      f"ran={stats['executed']} cached={stats['cache_hits']} "
+                      f"cancelled={stats['cancelled']} t={result.wall_s:.3f}s")
+            else:
+                failures += 1
+                print(f"{result.circuit_name:<22s} FAILED (no candidate "
+                      f"produced a result)")
+            if args.verbose:
+                for row in result.portfolio_summary()["candidates"]:
+                    score = row.get("score")
+                    print(f"    {row['label']:<28s} {row['status']:<9s} "
+                          f"score={score if score is not None else '-'}",
+                          file=sys.stderr)
+            records.append({"circuit": result.circuit_name,
+                            "device": device.name,
+                            "portfolio": result.portfolio_summary(),
+                            "wall_s": round(result.wall_s, 6)})
+    elapsed = time.perf_counter() - start
+    print(f"# {len(records)} portfolio runs in {elapsed:.2f}s "
+          f"({len(candidates)} candidates, cost={args.cost})", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+        print(f"# portfolio records written to {args.json}", file=sys.stderr)
     return 0 if failures == 0 else 1
 
 
@@ -435,6 +512,48 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--verbose", action="store_true",
                        help="print per-job progress to stderr")
     batch.set_defaults(func=_cmd_batch)
+
+    portfolio = sub.add_parser(
+        "portfolio",
+        help="race several routers per circuit and keep the cost-model winner")
+    portfolio.add_argument("files", nargs="*", help="OpenQASM 2.0 input files")
+    portfolio.add_argument("--suite", action="store_true",
+                           help="include the benchmark suite circuits")
+    portfolio.add_argument("--max-qubits", type=int, default=10,
+                           help="largest suite benchmark (in qubits) to include")
+    portfolio.add_argument("--max-gates", type=int, default=500,
+                           help="largest suite benchmark (in gates) to include")
+    portfolio.add_argument("--device", default="ibm_q20_tokyo",
+                           help="target device (accepts parametric names)")
+    portfolio.add_argument("--preset", default="fast",
+                           choices=("fast", "thorough", "duration_aware"),
+                           help="built-in candidate set")
+    portfolio.add_argument("--router", action="append",
+                           help="explicit candidate router (repeatable; "
+                                "overrides --preset)")
+    portfolio.add_argument("--cost", default="weighted_depth",
+                           help="cost model: a registered name or a JSON spec "
+                                '(e.g. \'{"name": "weighted_sum", "params": '
+                                '{"terms": [["swaps", 1], ["depth", 0.1]]}}\')')
+    portfolio.add_argument("--workers", type=int,
+                           help="racing pool size (default: sequential)")
+    portfolio.add_argument("--beat-bound", type=float,
+                           help="cancel stragglers once a score reaches this")
+    portfolio.add_argument("--hedge-timeout", type=float,
+                           help="duplicate candidates still running after this "
+                                "many seconds")
+    portfolio.add_argument("--seed", type=int,
+                           help="portfolio-wide seed for seeded layouts")
+    portfolio.add_argument("--tuner-file",
+                           help="persistent JSON tuning store (reorders and "
+                                "prunes candidates as it learns)")
+    portfolio.add_argument("--tuner-keep", type=int, default=2,
+                           help="candidates a warm tuner keeps per bucket")
+    portfolio.add_argument("--cache-dir", help="on-disk result cache directory")
+    portfolio.add_argument("--json", help="write portfolio records to this file")
+    portfolio.add_argument("--verbose", action="store_true",
+                           help="print per-candidate rows to stderr")
+    portfolio.set_defaults(func=_cmd_portfolio)
 
     cache = sub.add_parser("cache", help="inspect an on-disk result cache")
     cache.add_argument("--cache-dir", required=True)

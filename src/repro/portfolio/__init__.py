@@ -1,0 +1,58 @@
+"""repro.portfolio — racing router portfolios with cost models and autotuning.
+
+The paper's central observation is that the best mapper depends on the device
+(topology and gate durations).  This subsystem operationalises that: instead
+of picking one router up front, describe a *portfolio* of candidates, race
+them, and keep the winner under an explicit, pluggable cost model —
+
+* :mod:`repro.portfolio.candidates` — declarative :class:`Candidate` specs
+  with content-addressed keys, plus the built-in presets (``"fast"``,
+  ``"thorough"``, ``"duration_aware"``),
+* :mod:`repro.portfolio.cost` — cost models scoring a routing result (swaps,
+  weighted/duration depth, estimated fidelity, measured latency), composable
+  as weighted sums and addressable as JSON specs,
+* :mod:`repro.portfolio.runner` — :class:`PortfolioRunner`, fanning
+  candidates over the service's worker pool with racing (early-cancel past a
+  bound, hedged restarts for stragglers) and deterministic winner selection,
+* :mod:`repro.portfolio.tuner` — :class:`TuningStore`, a persistent
+  per-(device, circuit-bucket) win-statistics store that reorders and prunes
+  candidates, so the portfolio gets cheaper as it sees traffic.
+
+Quickstart::
+
+    from repro.portfolio import PortfolioRunner, TuningStore
+
+    runner = PortfolioRunner("weighted_depth", workers=4,
+                             tuner=TuningStore("tuning.json"))
+    result = runner.run(circuit, "ibm_q20_tokyo", candidates="fast", seed=7)
+    print(result.winner.candidate.label, result.score)
+"""
+
+from repro.portfolio.candidates import (Candidate, PRESETS, portfolio_preset,
+                                        resolve_candidates)
+from repro.portfolio.cost import (COST_MODELS, CostModel, UNSCORABLE,
+                                  build_cost_model, cost_spec, score_outcome,
+                                  score_result)
+from repro.portfolio.runner import (CandidateReport, PortfolioResult,
+                                    PortfolioRunner, run_portfolio_job)
+from repro.portfolio.tuner import TuningStore, feature_bucket
+
+__all__ = [
+    "Candidate",
+    "PRESETS",
+    "portfolio_preset",
+    "resolve_candidates",
+    "CostModel",
+    "COST_MODELS",
+    "UNSCORABLE",
+    "build_cost_model",
+    "cost_spec",
+    "score_outcome",
+    "score_result",
+    "CandidateReport",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "run_portfolio_job",
+    "TuningStore",
+    "feature_bucket",
+]

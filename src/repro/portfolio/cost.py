@@ -1,0 +1,256 @@
+"""Pluggable cost models: how a portfolio decides which result "wins".
+
+Every model maps one routing result to a single number where **lower is
+better**.  Models score the flat :meth:`RoutingResult.summary` dict (which is
+what :class:`~repro.service.jobs.CompileOutcome` carries across process and
+cache boundaries); models that need the routed circuit itself (re-scheduling
+under a different duration map, fidelity estimation) receive the routed QASM
+as well.  :func:`score_result` adapts a live
+:class:`~repro.mapping.base.RoutingResult` to the same interface.
+
+Models are registered by name in :data:`COST_MODELS` — the same
+:class:`~repro.service.registry.Registry` machinery the router and device
+specs use — so a cost model is itself a JSON-serialisable spec
+(``"weighted_depth"`` or ``{"name": "weighted_sum", "params": {...}}``) that
+can ride inside a portfolio job, be hashed into its cache key and be replayed
+byte-identically.
+
+Built-in models
+---------------
+
+==================  =========================================================
+``swaps``           inserted SWAP count
+``depth``           plain circuit depth
+``weighted_depth``  duration-weighted depth (the paper's headline metric,
+                    already computed under :mod:`repro.arch.durations`)
+``elapsed``         measured compile wall-clock (needs ``elapsed_s``)
+``duration``        weighted depth re-scheduled under another technology's
+                    duration map (ion trap, neutral atom, ...)
+``fidelity``        ``1 - ESP`` via :mod:`repro.sim.success` and a Table I
+                    calibration column
+``weighted_sum``    ``Σ weight_i · model_i`` over any of the above
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from repro.service.registry import Registry
+
+#: Score assigned when a model cannot evaluate a result (missing field,
+#: unparsable circuit); +inf keeps the candidate losing without crashing.
+UNSCORABLE = float("inf")
+
+
+class CostModel(abc.ABC):
+    """Maps one routing summary to a number; lower is better."""
+
+    #: Registered name (set on construction by the factory helpers).
+    name: str = "cost"
+
+    @abc.abstractmethod
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        """Cost of one result.  Must not raise; return :data:`UNSCORABLE`."""
+
+    def spec(self) -> dict:
+        """The canonical ``{"name", "params"}`` spec this model was built from."""
+        return {"name": self.name, "params": self.params()}
+
+    def params(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.params()})"
+
+
+class _SummaryFieldCost(CostModel):
+    """Cost = one numeric field of the summary dict."""
+
+    field = ""
+
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        value = summary.get(self.field)
+        return float(value) if value is not None else UNSCORABLE
+
+
+class SwapCost(_SummaryFieldCost):
+    name, field = "swaps", "swaps"
+
+
+class DepthCost(_SummaryFieldCost):
+    name, field = "depth", "depth"
+
+
+class WeightedDepthCost(_SummaryFieldCost):
+    name, field = "weighted_depth", "weighted_depth"
+
+
+class ElapsedCost(CostModel):
+    """Measured compile latency (the service's ``elapsed_s`` satellite)."""
+
+    name = "elapsed"
+
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        if elapsed_s is not None:
+            return float(elapsed_s)
+        value = summary.get("runtime_s")
+        return float(value) if value is not None else UNSCORABLE
+
+
+class DurationCost(CostModel):
+    """Weighted depth re-scheduled under a *different* duration map.
+
+    The summary's ``weighted_depth`` is computed with the target device's own
+    durations; this model asks "how long would the routed circuit take on an
+    ion trap / neutral atom machine", which is exactly the maQAM
+    multi-technology question the paper's Section V-C sweeps.
+    """
+
+    name = "duration"
+
+    def __init__(self, technology: str = "ion_trap", scale: int = 1):
+        from repro.arch.durations import GateDurationMap
+
+        self.technology = str(technology)
+        self.scale = int(scale)
+        durations = GateDurationMap.for_technology(self.technology)
+        self._durations = durations.scaled(self.scale) if self.scale != 1 else durations
+
+    def params(self) -> dict:
+        return {"technology": self.technology, "scale": self.scale}
+
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        if not routed_qasm:
+            return UNSCORABLE
+        try:
+            from repro.qasm.parser import parse_qasm
+            from repro.sim.scheduler import asap_schedule
+
+            circuit = parse_qasm(routed_qasm)
+            return float(asap_schedule(circuit, self._durations).makespan)
+        except Exception:  # noqa: BLE001 — unscorable, never fatal
+            return UNSCORABLE
+
+
+class FidelityCost(CostModel):
+    """``1 - ESP``: maximise the estimated success probability.
+
+    ``calibration`` names a Table I column (:data:`repro.arch.calibration.TABLE_I`);
+    the model re-schedules the routed circuit under that column's duration map
+    and folds gate fidelities and T1/T2 decoherence into one probability.
+    """
+
+    name = "fidelity"
+
+    def __init__(self, calibration: str = "ibm_q20"):
+        from repro.arch.calibration import TABLE_I
+
+        self.calibration = str(calibration)
+        if self.calibration not in TABLE_I:
+            raise KeyError(f"unknown calibration column {calibration!r}; "
+                           f"known: {sorted(TABLE_I)}")
+        self._column = TABLE_I[self.calibration]
+
+    def params(self) -> dict:
+        return {"calibration": self.calibration}
+
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        if not routed_qasm:
+            return UNSCORABLE
+        try:
+            from repro.qasm.parser import parse_qasm
+            from repro.sim.success import estimate_success
+
+            circuit = parse_qasm(routed_qasm)
+            estimate = estimate_success(circuit, self._column)
+            return 1.0 - estimate.probability
+        except Exception:  # noqa: BLE001 — unscorable, never fatal
+            return UNSCORABLE
+
+
+class WeightedSumCost(CostModel):
+    """``Σ weight·model`` over sub-model specs — composition by configuration.
+
+    ``terms`` is a sequence of ``(model_spec, weight)`` pairs (lists in JSON);
+    an unscorable sub-model makes the whole sum unscorable, so a candidate is
+    never rewarded for missing data.
+    """
+
+    name = "weighted_sum"
+
+    def __init__(self, terms: Sequence = ()):
+        if not terms:
+            raise ValueError("weighted_sum needs at least one (model, weight) term")
+        self._terms: list[tuple[CostModel, float]] = []
+        for spec, weight in terms:
+            self._terms.append((build_cost_model(spec), float(weight)))
+
+    def params(self) -> dict:
+        return {"terms": [[model.spec(), weight]
+                          for model, weight in self._terms]}
+
+    def score(self, summary: Mapping, *, routed_qasm: str | None = None,
+              elapsed_s: float | None = None) -> float:
+        total = 0.0
+        for model, weight in self._terms:
+            value = model.score(summary, routed_qasm=routed_qasm,
+                                elapsed_s=elapsed_s)
+            if value == UNSCORABLE:
+                return UNSCORABLE
+            total += weight * value
+        return total
+
+
+# --------------------------------------------------------------------------- #
+# Registry: cost models are specs, like routers and devices
+# --------------------------------------------------------------------------- #
+COST_MODELS = Registry("cost_model")
+COST_MODELS.register("swaps", SwapCost, "inserted SWAP count")
+COST_MODELS.register("depth", DepthCost, "plain circuit depth")
+COST_MODELS.register("weighted_depth", WeightedDepthCost,
+                     "duration-weighted depth (the paper's metric)")
+COST_MODELS.register("elapsed", ElapsedCost, "measured compile wall-clock")
+COST_MODELS.register("duration", DurationCost,
+                     "weighted depth under another technology's durations")
+COST_MODELS.register("fidelity", FidelityCost,
+                     "1 - estimated success probability (Table I column)")
+COST_MODELS.register("weighted_sum", WeightedSumCost,
+                     "weighted sum of other cost models")
+
+
+def cost_spec(model) -> dict:
+    """Canonical spec for a cost-model name, spec dict or live model."""
+    if isinstance(model, CostModel):
+        return model.spec()
+    return COST_MODELS.normalize(model)
+
+
+def build_cost_model(spec) -> CostModel:
+    """Build a :class:`CostModel` from a name, spec dict or live model."""
+    if isinstance(spec, CostModel):
+        return spec
+    return COST_MODELS.build(spec)
+
+
+def score_outcome(model: CostModel, outcome) -> float:
+    """Score a :class:`~repro.service.jobs.CompileOutcome` (inf on failure)."""
+    if not outcome.ok or outcome.summary is None:
+        return UNSCORABLE
+    return model.score(outcome.summary, routed_qasm=outcome.routed_qasm,
+                       elapsed_s=getattr(outcome, "elapsed_s", None))
+
+
+def score_result(model: CostModel, result) -> float:
+    """Score a live :class:`~repro.mapping.base.RoutingResult`."""
+    from repro.qasm.exporter import circuit_to_qasm
+
+    return model.score(result.summary(),
+                       routed_qasm=circuit_to_qasm(result.routed),
+                       elapsed_s=result.runtime_seconds)

@@ -1,0 +1,205 @@
+"""Persistent per-device autotuning of portfolio candidate order.
+
+A :class:`TuningStore` remembers which candidate won each portfolio run,
+bucketed by ``(device, circuit-feature bucket)``.  On later runs the store
+
+* **reorders** candidates so historical winners race first (the racing
+  bound then cancels stragglers sooner), and
+* **prunes** the list down to ``max_candidates`` once a bucket has seen
+  enough traffic (``min_observations`` recorded runs), so a warm portfolio
+  executes strictly fewer candidates than a cold one.
+
+Circuit features are deliberately coarse — a qubit-count band and a
+two-qubit-gate-density band — so statistics pool across *similar* circuits
+instead of fragmenting per exact program.  Keys are the content-addressed
+:attr:`~repro.portfolio.candidates.Candidate.key`, so a store written by one
+process is valid in any other and a changed candidate spec starts from a
+clean slate automatically.
+
+The backing file is plain JSON written atomically (temp file +
+``os.replace``, the same recipe as the result cache), and a corrupt or
+missing file degrades to an empty store — tuning is an optimisation, never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.portfolio.candidates import Candidate
+
+SCHEMA_VERSION = 1
+
+#: Qubit-count band edges: (label, inclusive upper bound).
+_QUBIT_BANDS = (("q04", 4), ("q08", 8), ("q16", 16), ("q32", 32))
+#: Two-qubit-gate-density band edges over gates2q / gates_total.
+_DENSITY_BANDS = (("sparse", 0.25), ("mixed", 0.5))
+
+
+def feature_bucket(circuit) -> str:
+    """Coarse feature bucket of a circuit (e.g. ``"q08/mixed"``).
+
+    Accepts a :class:`~repro.core.circuit.Circuit`; the bucket combines a
+    qubit-count band with a two-qubit-gate-density band.
+    """
+    qubits = circuit.num_qubits
+    gates = [g for g in circuit.gates if not (g.is_barrier or g.is_directive)]
+    two_qubit = sum(1 for g in gates if g.num_qubits == 2)
+    density = two_qubit / len(gates) if gates else 0.0
+
+    qubit_band = _QUBIT_BANDS[-1][0].replace("q32", "q33+")
+    for label, bound in _QUBIT_BANDS:
+        if qubits <= bound:
+            qubit_band = label
+            break
+    density_band = "dense"
+    for label, bound in _DENSITY_BANDS:
+        if density < bound:
+            density_band = label
+            break
+    return f"{qubit_band}/{density_band}"
+
+
+class TuningStore:
+    """JSON-backed win statistics with reorder-and-prune candidate arrangement.
+
+    Parameters
+    ----------
+    path:
+        Backing JSON file; ``None`` keeps the store in memory only.
+    min_observations:
+        Recorded runs a bucket needs before pruning kicks in (reordering
+        starts immediately — it is harmless on a cold store).
+    max_candidates:
+        Portfolio size a warm bucket is pruned to; ``None`` disables pruning.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 min_observations: int = 3, max_candidates: int | None = 2):
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.min_observations = min_observations
+        self.max_candidates = max_candidates
+        self._lock = threading.Lock()
+        self._buckets: dict[str, dict[str, dict]] = {}
+        if self.path is not None:
+            self._load()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _bucket_key(device_name: str, bucket: str) -> str:
+        return f"{device_name}|{bucket}"
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            buckets = data.get("buckets")
+            if isinstance(buckets, dict):
+                self._buckets = buckets
+        except (OSError, ValueError):
+            self._buckets = {}  # corrupt/missing file: start cold
+
+    def save(self) -> None:
+        """Write the store atomically (no-op for memory-only stores)."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {"schema_version": SCHEMA_VERSION,
+                       "buckets": self._buckets}
+            text = json.dumps(payload, indent=2, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------ #
+    def record(self, device_name: str, bucket: str, winner_key: str | None,
+               participants: Sequence[Candidate | Mapping | str], *,
+               save: bool = True) -> None:
+        """Record one finished portfolio run.
+
+        Every participant's ``runs`` counter advances; the winner (when the
+        run produced one) also advances ``wins``.  Labels are kept for
+        human-readable store inspection only.
+        """
+        with self._lock:
+            stats = self._buckets.setdefault(
+                self._bucket_key(device_name, bucket), {})
+            for participant in participants:
+                key, label = _key_and_label(participant)
+                entry = stats.setdefault(key, {"wins": 0, "runs": 0,
+                                               "label": label})
+                entry["runs"] += 1
+                if label and not entry.get("label"):
+                    entry["label"] = label
+                if key == winner_key:
+                    entry["wins"] += 1
+        if save:
+            self.save()
+
+    def observations(self, device_name: str, bucket: str) -> int:
+        """Recorded portfolio runs for one (device, bucket) pair."""
+        with self._lock:
+            stats = self._buckets.get(self._bucket_key(device_name, bucket), {})
+            return max((entry["runs"] for entry in stats.values()), default=0)
+
+    def win_rate(self, device_name: str, bucket: str, key: str) -> float:
+        with self._lock:
+            stats = self._buckets.get(self._bucket_key(device_name, bucket), {})
+            entry = stats.get(key)
+        if not entry or not entry["runs"]:
+            return 0.0
+        return entry["wins"] / entry["runs"]
+
+    # ------------------------------------------------------------------ #
+    def arrange(self, device_name: str, bucket: str,
+                candidates: Sequence[Candidate]) -> list[Candidate]:
+        """Reorder (and, when warm, prune) candidates for one run.
+
+        Candidates are sorted by descending win rate, then descending win
+        count, then their original position (so a cold store is the identity
+        arrangement).  Once the bucket has ``min_observations`` recorded runs
+        the list is cut to ``max_candidates`` — the portfolio gets cheaper as
+        it sees traffic.
+        """
+        with self._lock:
+            stats = dict(self._buckets.get(
+                self._bucket_key(device_name, bucket), {}))
+
+        def rank(pair: tuple[int, Candidate]) -> tuple:
+            index, candidate = pair
+            entry = stats.get(candidate.key, {"wins": 0, "runs": 0})
+            rate = entry["wins"] / entry["runs"] if entry["runs"] else 0.0
+            return (-rate, -entry["wins"], index)
+
+        ordered = [candidate for _, candidate
+                   in sorted(enumerate(candidates), key=rank)]
+        observations = max((entry["runs"] for entry in stats.values()),
+                           default=0)
+        if (self.max_candidates is not None
+                and observations >= self.min_observations
+                and len(ordered) > self.max_candidates):
+            ordered = ordered[:self.max_candidates]
+        return ordered
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (used by CLI/report surfaces)."""
+        with self._lock:
+            return {"schema_version": SCHEMA_VERSION,
+                    "buckets": json.loads(json.dumps(self._buckets))}
+
+
+def _key_and_label(participant: Candidate | Mapping | str) -> tuple[str, str]:
+    if isinstance(participant, Candidate):
+        return participant.key, participant.label
+    if isinstance(participant, Mapping):
+        candidate = Candidate.from_dict(participant)
+        return candidate.key, candidate.label
+    return str(participant), ""

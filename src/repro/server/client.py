@@ -6,16 +6,24 @@ HTTP status and the server's parsed error body.  The client is what the CLI's
 ``repro submit`` / ``repro status`` commands and the end-to-end tests use, and
 doubles as the reference for talking to the server from any language — every
 call is one JSON request.
+
+Transient failures are retried with bounded exponential backoff plus jitter:
+``429`` (queue full) and ``503`` (shutting down / briefly unavailable)
+replies, and connection resets mid-request.  Retrying a ``POST /jobs`` is
+safe by construction — jobs are content-addressed and the server coalesces
+duplicate submissions of the same key onto one computation.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
-from repro.service.jobs import CompileJob, CompileOutcome
+from repro.service.jobs import CompileJob, CompileOutcome, PortfolioJob
 
 
 class ServerError(RuntimeError):
@@ -37,15 +45,64 @@ class CompileClient:
     timeout:
         Socket timeout per request, seconds.  Blocking submits add the
         job wait on top, so their socket timeout is extended accordingly.
+    retries:
+        How many times a transient failure is retried (total attempts are
+        ``retries + 1``); ``0`` disables retrying.
+    backoff_s, max_backoff_s:
+        Base delay before retry ``n`` is ``backoff_s * 2**n`` capped at
+        ``max_backoff_s``, each scaled by a random jitter factor in
+        ``[0.5, 1.0]`` so clients retrying together spread out.
+    retry_statuses:
+        HTTP statuses treated as transient (429 queue-full, 503 draining).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0, *,
+                 retries: int = 2, backoff_s: float = 0.1,
+                 max_backoff_s: float = 2.0,
+                 retry_statuses: tuple[int, ...] = (429, 503)):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.retry_statuses = tuple(retry_statuses)
+        self._rng = random.Random()
+        #: Transient failures retried over this client's lifetime.
+        self.retried = 0
 
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str, body: dict | None = None, *,
                  timeout: float | None = None) -> tuple[int, dict | str]:
+        """One logical request, with bounded retry-with-jitter on top."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body, timeout=timeout)
+            except ServerError as exc:
+                if (exc.status not in self.retry_statuses
+                        or attempt >= self.retries):
+                    raise
+            except (ConnectionError, http.client.RemoteDisconnected):
+                # A reset/aborted socket, incl. a server closing a keep-alive
+                # connection mid-reuse; the request may simply be resent.
+                if attempt >= self.retries:
+                    raise
+            except urllib.error.URLError as exc:
+                if (not isinstance(exc.reason, ConnectionError)
+                        or attempt >= self.retries):
+                    raise
+            self.retried += 1
+            time.sleep(self._retry_delay(attempt))
+            attempt += 1
+
+    def _retry_delay(self, attempt: int) -> float:
+        delay = min(self.max_backoff_s, self.backoff_s * (2 ** attempt))
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _request_once(self, method: str, path: str, body: dict | None = None,
+                      *, timeout: float | None = None) -> tuple[int, dict | str]:
         request = urllib.request.Request(self.base_url + path, method=method)
         data = None
         if body is not None:
@@ -74,6 +131,26 @@ class CompileClient:
         return text
 
     # ------------------------------------------------------------------ #
+    def _submit(self, path: str, job, *, priority: int, wait: bool,
+                timeout: float) -> dict:
+        """Shared submit body/timeout plumbing for ``/jobs`` and ``/portfolio``."""
+        body = {"job": job.to_dict() if hasattr(job, "to_dict") else job,
+                "priority": priority, "wait": wait, "timeout": timeout}
+        socket_timeout = self.timeout + (timeout if wait else 0.0)
+        _, payload = self._request("POST", path, body, timeout=socket_timeout)
+        return payload  # type: ignore[return-value]
+
+    def _submit_and_wait(self, path: str, job, *, priority: int,
+                         timeout: float) -> CompileOutcome:
+        reply = self._submit(path, job, priority=priority, wait=True,
+                             timeout=timeout)
+        if "outcome" in reply:
+            outcome = CompileOutcome.from_dict(reply["outcome"])
+            outcome.cache_hit = bool(reply.get("cache_hit"))
+            return outcome
+        # The wait timed out server-side; keep waiting client-side.
+        return self.outcome(reply["key"], wait=True, timeout=timeout)
+
     def submit(self, job: CompileJob | dict, *, priority: int = 0,
                wait: bool = False, timeout: float = 30.0) -> dict:
         """``POST /jobs``.
@@ -82,12 +159,8 @@ class CompileClient:
         non-blocking submit, or ``{key, coalesced, cache_hit, outcome}`` when
         ``wait=True`` resolved within ``timeout`` seconds.
         """
-        body = {"job": job.to_dict() if isinstance(job, CompileJob) else job,
-                "priority": priority, "wait": wait, "timeout": timeout}
-        socket_timeout = self.timeout + (timeout if wait else 0.0)
-        _, payload = self._request("POST", "/jobs", body,
-                                   timeout=socket_timeout)
-        return payload  # type: ignore[return-value]
+        return self._submit("/jobs", job, priority=priority, wait=wait,
+                            timeout=timeout)
 
     def status(self, key: str) -> dict:
         """``GET /jobs/<key>`` — the ticket snapshot."""
@@ -125,13 +198,25 @@ class CompileClient:
     def compile(self, job: CompileJob | dict, *, priority: int = 0,
                 timeout: float = 60.0) -> CompileOutcome:
         """Submit-and-wait convenience: one call, one finished outcome."""
-        reply = self.submit(job, priority=priority, wait=True, timeout=timeout)
-        if "outcome" in reply:
-            outcome = CompileOutcome.from_dict(reply["outcome"])
-            outcome.cache_hit = bool(reply.get("cache_hit"))
-            return outcome
-        # The wait timed out server-side; keep waiting client-side.
-        return self.outcome(reply["key"], wait=True, timeout=timeout)
+        return self._submit_and_wait("/jobs", job, priority=priority,
+                                     timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    def submit_portfolio(self, job: PortfolioJob | dict, *, priority: int = 0,
+                         wait: bool = False, timeout: float = 60.0) -> dict:
+        """``POST /portfolio`` — same reply contract as :meth:`submit`."""
+        return self._submit("/portfolio", job, priority=priority, wait=wait,
+                            timeout=timeout)
+
+    def portfolio(self, job: PortfolioJob | dict, *, priority: int = 0,
+                  timeout: float = 120.0) -> CompileOutcome:
+        """Race a portfolio and wait for the winner (one call, one outcome).
+
+        The outcome's summary is the winning candidate's routing summary
+        plus a ``"portfolio"`` breakdown of every candidate raced.
+        """
+        return self._submit_and_wait("/portfolio", job, priority=priority,
+                                     timeout=timeout)
 
     # ------------------------------------------------------------------ #
     def health(self) -> dict:

@@ -8,6 +8,11 @@ Endpoints (all JSON unless noted):
   Replies ``202`` with ``{key, status, coalesced}`` on admission, ``200`` with
   the outcome when ``wait`` resolved in time, ``429`` when the queue is full,
   ``400`` on a malformed job and ``503`` once shutdown has begun.
+* ``POST /portfolio`` — same contract for a
+  :class:`~repro.service.jobs.PortfolioJob` payload (candidates/cost/racing
+  specs): the job races its candidates and the outcome is the cost-model
+  winner with a ``"portfolio"`` breakdown; queued, coalesced and cached like
+  any compile job.
 * ``GET /jobs/<key>`` — ticket status snapshot; ``404`` for unknown keys.
 * ``GET /results/<key>`` — ``{key, cache_hit, outcome}`` when finished
   (recent ticket or result cache), ``202`` while in flight, ``404`` unknown.
@@ -32,7 +37,7 @@ from repro.server.queue import JobQueue, QueueClosedError, QueueFullError
 from repro.server.scheduler import Scheduler
 from repro.service.cache import ResultCache
 from repro.service.executor import CompilationService
-from repro.service.jobs import CompileJob
+from repro.service.jobs import CompileJob, PortfolioJob
 
 #: Cap on request bodies; the largest suite QASM is ~100 kB.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -129,7 +134,11 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/jobs":
+        if path == "/jobs":
+            job_cls = CompileJob
+        elif path == "/portfolio":
+            job_cls = PortfolioJob
+        else:
             self._error(404, f"unknown path {self.path!r}")
             return
         payload = self._read_json()
@@ -137,7 +146,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         job_data = payload.get("job", payload)
         try:
-            job = CompileJob.from_dict(job_data)
+            job = job_cls.from_dict(job_data)
             priority = int(payload.get("priority", 0))
             wait = bool(payload.get("wait", False))
             timeout = min(float(payload.get("timeout", 30.0)), MAX_WAIT_S)

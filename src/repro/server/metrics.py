@@ -102,10 +102,16 @@ class ServerMetrics:
 
     COUNTERS = ("submitted", "completed", "failed", "coalesced",
                 "cache_hits", "rejected")
+    #: Per-portfolio-run counters (see :meth:`observe_portfolio`).
+    PORTFOLIO_COUNTERS = ("runs", "candidates_run", "candidates_cancelled",
+                          "candidates_cached", "hedged")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in self.COUNTERS}
+        self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}
+        #: Portfolio wins per router name (a labeled counter).
+        self._wins: dict[str, int] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
         self.wait_seconds = Histogram()
         self.service_seconds = Histogram()
@@ -114,6 +120,35 @@ class ServerMetrics:
     def increment(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[counter] += amount
+
+    def observe_portfolio(self, portfolio: dict) -> None:
+        """Record one *executed* portfolio run from its summary breakdown.
+
+        ``portfolio`` is the ``"portfolio"`` sub-dict a portfolio outcome
+        embeds (winner, per-candidate rows, run stats).  Cache replays should
+        not be recorded — their embedded stats describe the original run.
+        """
+        stats = portfolio.get("stats", {})
+        winner_router = portfolio.get("winner_router")
+        with self._lock:
+            self._portfolio["runs"] += 1
+            self._portfolio["candidates_run"] += int(stats.get("executed", 0))
+            self._portfolio["candidates_cancelled"] += int(
+                stats.get("cancelled", 0))
+            self._portfolio["candidates_cached"] += int(
+                stats.get("cache_hits", 0))
+            self._portfolio["hedged"] += int(stats.get("hedged", 0))
+            if winner_router:
+                self._wins[winner_router] = self._wins.get(winner_router, 0) + 1
+
+    def portfolio_counter(self, name: str) -> int:
+        with self._lock:
+            return self._portfolio[name]
+
+    def wins(self) -> dict[str, int]:
+        """Portfolio win counts keyed by router name (copy)."""
+        with self._lock:
+            return dict(self._wins)
 
     def observe_job(self, wait_s: float | None, service_s: float | None,
                     *, ok: bool, cache_hit: bool, coalesced: int = 0) -> None:
@@ -145,6 +180,8 @@ class ServerMetrics:
             data = dict(self._counters)
             data["wait_seconds"] = self.wait_seconds.as_dict()
             data["service_seconds"] = self.service_seconds.as_dict()
+            data["portfolio"] = dict(self._portfolio)
+            data["portfolio"]["wins"] = dict(self._wins)
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
         data.update(gauges)
@@ -159,6 +196,17 @@ class ServerMetrics:
                 lines.append(f"# HELP {metric} Jobs {name} since server start.")
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {self._counters[name]}")
+            for name in self.PORTFOLIO_COUNTERS:
+                metric = f"{prefix}_portfolio_{name}_total"
+                lines.append(f"# HELP {metric} Portfolio {name.replace('_', ' ')} "
+                             "since server start.")
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {self._portfolio[name]}")
+            metric = f"{prefix}_portfolio_wins_total"
+            lines.append(f"# HELP {metric} Portfolio wins per router.")
+            lines.append(f"# TYPE {metric} counter")
+            for router in sorted(self._wins):
+                lines.append(f'{metric}{{router="{router}"}} {self._wins[router]}')
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
             histograms = (("job_wait_seconds", self.wait_seconds,

@@ -183,6 +183,11 @@ class Scheduler:
             self.metrics.observe_job(
                 ticket.wait_seconds, ticket.service_seconds,
                 ok=outcome.ok, cache_hit=outcome.cache_hit)
+            if (outcome.ok and not outcome.cache_hit and outcome.summary
+                    and "portfolio" in outcome.summary):
+                # A cache replay embeds the original run's stats; only count
+                # portfolio runs that actually raced candidates here.
+                self.metrics.observe_portfolio(outcome.summary["portfolio"])
 
     def _execute(self, job: CompileJob) -> CompileOutcome:
         if self.job_timeout is None:

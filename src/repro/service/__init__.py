@@ -18,13 +18,16 @@ calls into a batch pipeline:
 from repro.service.api import compile_batch, compile_one, make_job, sweep
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.executor import CompilationService, ServiceStats, execute_job
-from repro.service.jobs import CompileJob, CompileOutcome
+from repro.service.jobs import (CompileJob, CompileOutcome, PortfolioJob,
+                                job_from_dict)
 from repro.service.registry import (DEVICES, ROUTERS, build_device,
                                     build_router, device_spec, router_spec)
 
 __all__ = [
     "CompileJob",
     "CompileOutcome",
+    "PortfolioJob",
+    "job_from_dict",
     "CompilationService",
     "ResultCache",
     "CacheStats",

@@ -11,19 +11,32 @@ nothing but the importable ``repro`` package.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.service.cache import ResultCache
-from repro.service.jobs import CompileJob, CompileOutcome
+from repro.service.jobs import CompileJob, CompileOutcome, job_from_dict
 
 ProgressFn = Callable[[str], None]
 
 
-def execute_job(job: CompileJob) -> CompileOutcome:
-    """Run one job to completion, capturing any failure in the outcome."""
+def execute_job(job, cache: ResultCache | None = None) -> CompileOutcome:
+    """Run one job (any kind) to completion, capturing failures in the outcome.
+
+    The outcome's ``elapsed_s`` records the whole execution wall-clock —
+    parse, layout, route and export — which is what a caller actually waits
+    for, unlike the summary's router-only ``runtime_s``.  ``cache`` only
+    matters for portfolio jobs: their candidate legs read and write it, so
+    overlapping portfolios (or plain jobs) share candidate results.
+    """
+    start = time.perf_counter()
     try:
+        if getattr(job, "kind", "compile") == "portfolio":
+            from repro.portfolio.runner import run_portfolio_job
+
+            return run_portfolio_job(job, cache=cache)
         from repro.qasm.exporter import circuit_to_qasm
         from repro.qasm.parser import parse_qasm
         from repro.service.registry import build_device, build_router
@@ -36,16 +49,18 @@ def execute_job(job: CompileJob) -> CompileOutcome:
                             seed=job.effective_seed)
         return CompileOutcome(job_key=job.key, status="ok",
                               summary=result.summary(),
-                              routed_qasm=circuit_to_qasm(result.routed))
+                              routed_qasm=circuit_to_qasm(result.routed),
+                              elapsed_s=time.perf_counter() - start)
     except Exception as exc:  # noqa: BLE001 — per-job isolation is the contract
         return CompileOutcome(job_key=job.key, status="error",
-                              error=str(exc), error_type=type(exc).__name__)
+                              error=str(exc), error_type=type(exc).__name__,
+                              elapsed_s=time.perf_counter() - start)
 
 
 def _execute_payload(payload: dict) -> dict:
     """Worker-side entry point: dict in, dict out (both picklable)."""
     try:
-        job = CompileJob.from_dict(payload)
+        job = job_from_dict(payload)
     except Exception as exc:  # noqa: BLE001
         return CompileOutcome(job_key="", status="error", error=str(exc),
                               error_type=type(exc).__name__).to_dict()
@@ -121,7 +136,8 @@ class CompilationService:
             self._run_parallel(jobs, keys, pending, outcomes, progress)
         else:
             for index in pending:
-                self._record(jobs, keys, index, execute_job(jobs[index]),
+                self._record(jobs, keys, index,
+                             execute_job(jobs[index], cache=self.cache),
                              outcomes, progress)
         return outcomes  # type: ignore[return-value] — every slot is filled
 

@@ -31,6 +31,9 @@ SCHEMA_VERSION = 1
 class CompileJob:
     """One (circuit, device, router, layout, seed) compilation request."""
 
+    #: Job-kind discriminator used by :func:`job_from_dict`.
+    kind = "compile"
+
     qasm: str
     device: dict
     router: dict
@@ -114,6 +117,12 @@ class CompileOutcome:
     routed_qasm: str | None = None
     error: str | None = None
     error_type: str | None = None
+    #: Measured execution wall-clock of the whole job (parse + layout +
+    #: route + export), recorded by the executor.  Unlike the summary's
+    #: ``runtime_s`` (the router's inner loop only) this is what a caller
+    #: actually waited, so cost models and perf records can rank candidates
+    #: by real latency.  ``None`` for outcomes predating the field.
+    elapsed_s: float | None = None
     #: Transport metadata set by the service; excluded from serialisation.
     cache_hit: bool = field(default=False, compare=False)
 
@@ -130,6 +139,7 @@ class CompileOutcome:
             "routed_qasm": self.routed_qasm,
             "error": self.error,
             "error_type": self.error_type,
+            "elapsed_s": self.elapsed_s,
         }
 
     def to_json(self) -> str:
@@ -141,7 +151,8 @@ class CompileOutcome:
         return cls(job_key=data["job_key"], status=data["status"],
                    summary=data.get("summary"),
                    routed_qasm=data.get("routed_qasm"),
-                   error=data.get("error"), error_type=data.get("error_type"))
+                   error=data.get("error"), error_type=data.get("error_type"),
+                   elapsed_s=data.get("elapsed_s"))
 
     # ------------------------------------------------------------------ #
     def routing_result(self, job: CompileJob | None = None):
@@ -167,3 +178,119 @@ class CompileOutcome:
         if job is not None:
             original = parse_qasm(job.qasm, name=job.circuit_name)
         return RoutingResult.from_summary(data, original=original)
+
+
+@dataclass
+class PortfolioJob:
+    """One racing-portfolio request: try several routers, keep the winner.
+
+    Like :class:`CompileJob` this is fully declarative plain data — the
+    candidate list, cost model and racing knobs are canonical specs (see
+    :mod:`repro.portfolio`) — so a portfolio run crosses process boundaries,
+    hashes into a stable cache key and is cached/coalesced/served exactly
+    like a plain compile.  The executed outcome is a normal
+    :class:`CompileOutcome` whose summary is the winner's routing summary
+    plus a ``"portfolio"`` breakdown of every candidate.
+    """
+
+    kind = "portfolio"
+
+    qasm: str
+    device: dict
+    candidates: list | str = "fast"
+    cost: dict | str = "weighted_depth"
+    racing: dict = field(default_factory=dict)
+    seed: int | None = None
+    circuit_name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        # Normalisation needs the portfolio registries; imported lazily so
+        # repro.portfolio can itself import this module.
+        from repro.portfolio.candidates import resolve_candidates
+        from repro.portfolio.cost import cost_spec
+
+        self.device = device_spec(self.device)
+        self.candidates = [candidate.to_dict() for candidate
+                           in resolve_candidates(self.candidates)]
+        self.cost = cost_spec(self.cost)
+        racing = dict(self.racing or {})
+        unknown = set(racing) - {"beat_bound", "hedge_timeout"}
+        if unknown:
+            raise ValueError(f"unknown racing option(s): {sorted(unknown)}")
+        self.racing = {key: float(value) for key, value in racing.items()
+                       if value is not None}
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_circuit(cls, circuit: Circuit | str, device, candidates="fast",
+                     *, cost="weighted_depth", racing: Mapping | None = None,
+                     seed: int | None = None) -> "PortfolioJob":
+        """Build a portfolio job from a :class:`Circuit` (or raw QASM text)."""
+        if isinstance(circuit, Circuit):
+            from repro.qasm.exporter import circuit_to_qasm
+
+            qasm, name = circuit_to_qasm(circuit), circuit.name
+        else:
+            qasm, name = str(circuit), "circuit"
+        return cls(qasm=qasm, device=device, candidates=candidates, cost=cost,
+                   racing=dict(racing or {}), seed=seed, circuit_name=name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def key(self) -> str:
+        """Content-addressed identity: sha256 over the canonical job JSON."""
+        payload = json.dumps({
+            "version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "qasm": self.qasm,
+            "device": self.device,
+            "candidates": self.candidates,
+            "cost": self.cost,
+            "racing": self.racing,
+            "seed": self.seed,
+            "circuit": self.circuit_name,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def router(self) -> dict:
+        """Spec-shaped placeholder so queue tickets render portfolio jobs."""
+        return {"name": "portfolio", "params": {}}
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "qasm": self.qasm,
+            "device": self.device,
+            "candidates": self.candidates,
+            "cost": self.cost,
+            "racing": self.racing,
+            "seed": self.seed,
+            "circuit_name": self.circuit_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PortfolioJob":
+        kind = data.get("kind", cls.kind)
+        if kind != cls.kind:
+            raise ValueError(f"not a portfolio job payload (kind={kind!r})")
+        return cls(qasm=data["qasm"], device=data["device"],
+                   candidates=data.get("candidates", "fast"),
+                   cost=data.get("cost", "weighted_depth"),
+                   racing=dict(data.get("racing") or {}),
+                   seed=data.get("seed"),
+                   circuit_name=data.get("circuit_name", "circuit"))
+
+
+def job_from_dict(data: Mapping) -> "CompileJob | PortfolioJob":
+    """Rebuild any job kind from its :meth:`to_dict` payload.
+
+    Dispatches on the ``"kind"`` discriminator; payloads without one are
+    plain compile jobs (the wire format predating portfolio jobs).
+    """
+    kind = data.get("kind", CompileJob.kind)
+    if kind == CompileJob.kind:
+        return CompileJob.from_dict(data)
+    if kind == PortfolioJob.kind:
+        return PortfolioJob.from_dict(data)
+    raise ValueError(f"unknown job kind {kind!r}")

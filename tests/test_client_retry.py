@@ -1,0 +1,135 @@
+"""Retry-with-jitter behaviour of :class:`repro.server.client.CompileClient`.
+
+A scripted stub server plays back a per-request sequence of behaviours
+(``429``, ``503``, an abrupt connection reset, or a good ``200`` JSON reply)
+so the tests can assert exactly how many attempts the client makes without a
+real compile server in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.server.client import CompileClient, ServerError
+
+OK_BODY = {"status": "ok"}
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Each request consumes the next scripted behaviour."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):  # noqa: A002 — keep test output clean
+        pass
+
+    def _next(self) -> int | str:
+        with self.server.lock:  # type: ignore[attr-defined]
+            self.server.hits += 1  # type: ignore[attr-defined]
+            script = self.server.script  # type: ignore[attr-defined]
+            return script.pop(0) if script else 200
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        step = self._next()
+        if step == "reset":
+            # Close without writing a response: the client sees the peer
+            # hang up mid-request (RemoteDisconnected / ConnectionReset).
+            self.connection.close()
+            self.close_connection = True
+            return
+        body = json.dumps(OK_BODY if step == 200
+                          else {"error": f"scripted {step}"}).encode()
+        self.send_response(step)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_POST = do_GET
+
+
+@pytest.fixture()
+def stub_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = []
+    server.hits = 0
+    server.lock = threading.Lock()
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.01}, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _client(server, **kwargs) -> CompileClient:
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("backoff_s", 0.01)
+    host, port = server.server_address[:2]
+    return CompileClient(f"http://{host}:{port}", timeout=5.0, **kwargs)
+
+
+def test_retries_through_429_then_succeeds(stub_server):
+    stub_server.script = [429, 429, 200]
+    client = _client(stub_server)
+    assert client.health() == OK_BODY
+    assert stub_server.hits == 3
+    assert client.retried == 2
+
+
+def test_retries_through_503(stub_server):
+    stub_server.script = [503, 200]
+    client = _client(stub_server)
+    assert client.health() == OK_BODY
+    assert stub_server.hits == 2
+
+
+def test_retries_through_connection_reset(stub_server):
+    stub_server.script = ["reset", 200]
+    client = _client(stub_server)
+    assert client.health() == OK_BODY
+    assert stub_server.hits == 2
+    assert client.retried == 1
+
+
+def test_bounded_retries_then_raises(stub_server):
+    stub_server.script = [429, 429, 429, 429, 429]
+    client = _client(stub_server, retries=2)
+    with pytest.raises(ServerError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 429
+    assert stub_server.hits == 3  # 1 attempt + 2 retries, strictly bounded
+
+
+def test_zero_retries_disables_retrying(stub_server):
+    stub_server.script = [503, 200]
+    client = _client(stub_server, retries=0)
+    with pytest.raises(ServerError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 503
+    assert stub_server.hits == 1
+
+
+def test_non_transient_statuses_are_not_retried(stub_server):
+    stub_server.script = [404, 200]
+    client = _client(stub_server)
+    with pytest.raises(ServerError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 404
+    assert stub_server.hits == 1
+
+
+def test_retry_delay_is_bounded_and_jittered():
+    client = CompileClient("http://127.0.0.1:1", retries=3,
+                           backoff_s=0.1, max_backoff_s=0.25)
+    delays = [client._retry_delay(attempt) for attempt in range(4)
+              for _ in range(16)]
+    assert all(0.05 <= delay <= 0.25 for delay in delays)
+    assert len(set(delays)) > 1  # jitter actually varies

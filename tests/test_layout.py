@@ -98,6 +98,23 @@ class TestInitialMappings:
         assert a == b
         assert a != c
 
+    def test_random_strategy_is_deterministic_through_router_run(self):
+        # End to end: the seed threads from Router.run through the strategy,
+        # so two runs agree on the initial layout *and* the routed circuit.
+        from repro.arch.devices import get_device
+        from repro.mapping.codar.remapper import CodarRouter
+        from repro.qasm.exporter import circuit_to_qasm
+
+        device = get_device("ibm_q20_tokyo")
+        runs = [CodarRouter().run(self._circuit(), device,
+                                  layout_strategy="random", seed=23)
+                for _ in range(2)]
+        assert runs[0].initial_layout == runs[1].initial_layout
+        assert circuit_to_qasm(runs[0].routed) == circuit_to_qasm(runs[1].routed)
+        other = CodarRouter().run(self._circuit(), device,
+                                  layout_strategy="random", seed=24)
+        assert other.initial_layout != runs[0].initial_layout
+
     def test_capacity_check(self):
         with pytest.raises(ValueError, match="only has"):
             identity_layout(Circuit(10), CouplingGraph.line(4))

@@ -15,8 +15,9 @@ from repro.workloads.generators import ghz, qft
 
 
 def _stable(outcome) -> dict:
-    """Outcome dict without the wall-clock field (fresh runs differ there)."""
+    """Outcome dict without the wall-clock fields (fresh runs differ there)."""
     data = outcome.to_dict()
+    data.pop("elapsed_s", None)
     if data["summary"] is not None:
         data["summary"] = {k: v for k, v in data["summary"].items()
                            if k != "runtime_s"}
@@ -142,6 +143,17 @@ class TestCompileJob:
 
 
 class TestCompileOutcome:
+    def test_elapsed_s_is_measured_and_serialised(self, tmp_path):
+        # The executor stamps wall-clock latency on fresh outcomes, and a
+        # cache replay reports the original measurement, not zero.
+        cache = ResultCache(tmp_path / "cache")
+        fresh = compile_one(ghz(3), "ibm_q20_tokyo", "codar", cache=cache)
+        assert fresh.elapsed_s is not None and fresh.elapsed_s > 0
+        assert fresh.to_dict()["elapsed_s"] == fresh.elapsed_s
+        replay = compile_one(ghz(3), "ibm_q20_tokyo", "codar", cache=cache)
+        assert replay.cache_hit
+        assert replay.elapsed_s == fresh.elapsed_s
+
     def test_cache_hit_not_serialised(self):
         outcome = CompileOutcome(job_key="k", status="ok", summary={},
                                  routed_qasm="", cache_hit=True)
