@@ -10,7 +10,6 @@ Shape assertion: CODAR achieves the best (lowest) average weighted depth of
 all routers, and every router beats the trivial chain baseline.
 """
 
-import pytest
 
 from repro.experiments.baselines import BaselineComparisonExperiment
 from repro.experiments.reporting import arithmetic_mean

@@ -13,7 +13,6 @@ to the duration model; the isolated contribution of duration awareness is
 measured by the ablation bench instead).
 """
 
-import pytest
 
 from repro.experiments.sensitivity import DurationSensitivityExperiment
 

@@ -11,7 +11,6 @@ Shape assertion: the reverse-traversal mapping is at least as good on average
 as the naive identity mapping.
 """
 
-import pytest
 
 from repro.experiments.layouts import LayoutSensitivityExperiment
 from repro.experiments.reporting import arithmetic_mean

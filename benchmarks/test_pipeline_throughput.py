@@ -1,0 +1,141 @@
+"""Cold-vs-warm device analysis through the staged compiler pipeline.
+
+Before the compiler refactor every ``Router.run`` recomputed its device's
+all-pairs distance matrix (a batched BFS) because batch jobs rebuild a fresh
+:class:`Device` per job.  The :mod:`repro.compiler.analysis` cache computes it
+once per device model and shares it process-wide.
+
+This harness quantifies that win two ways and writes both into
+``BENCH_pipeline.json``:
+
+* ``analysis_microbench`` — per-call cost of ``analyze`` on a fresh device
+  build, cold (cache cleared every call — the pre-pipeline behaviour) vs
+  warm (shared cache),
+* ``routing_suite`` — a suite of small circuits on the two largest
+  evaluation devices, executed as pipeline jobs cold (cache cleared before
+  every job) vs warm, with per-stage timing aggregates from the pipeline's
+  stage records.
+
+Small circuits on large devices are exactly the online-serving shape where
+the analysis overhead matters: a 3–6 qubit job on Sycamore-54 pays more for
+the distance matrix than for the routing itself.
+"""
+
+import time
+from pathlib import Path
+
+from perf_record import record_perf
+from repro.compiler import analyze, cache_stats, clear_cache
+from repro.service.executor import execute_job
+from repro.service.jobs import CompileJob
+from repro.workloads.generators import ghz, qft
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+DEVICES = ("google_sycamore54", "grid_6x6")
+PIPELINE = ["parse", {"name": "layout", "params": {"strategy": "degree"}},
+            {"name": "route", "params": {"router": "codar"}}, "schedule"]
+
+
+def _jobs(paper_scale: bool) -> list[CompileJob]:
+    sizes = range(3, 9) if paper_scale else range(3, 7)
+    circuits = [build(n) for n in sizes for build in (ghz, qft)]
+    return [CompileJob.from_circuit(circuit, device, pipeline=PIPELINE,
+                                    seed=1)
+            for device in DEVICES for circuit in circuits]
+
+
+def _aggregate_stage_seconds(outcomes) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for outcome in outcomes:
+        for row in outcome.summary["extra"]["stages"]:
+            totals[row["stage"]] = (totals.get(row["stage"], 0.0)
+                                    + row["elapsed_s"])
+    return {stage: round(seconds, 6) for stage, seconds in totals.items()}
+
+
+def test_analysis_cache_microbench(paper_scale):
+    """Cold analyze (BFS every call) vs warm analyze (shared cache)."""
+    from repro.arch.devices import get_device
+
+    iterations = 40 if paper_scale else 20
+    record = {}
+    for name in DEVICES:
+        clear_cache()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            clear_cache()
+            analyze(get_device(name))
+        cold_s = time.perf_counter() - start
+
+        clear_cache()
+        analyze(get_device(name))  # prime once
+        start = time.perf_counter()
+        for _ in range(iterations):
+            analyze(get_device(name))
+        warm_s = time.perf_counter() - start
+
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"\nanalysis [{name}]: cold {1000 * cold_s / iterations:.3f}ms "
+              f"warm {1000 * warm_s / iterations:.3f}ms "
+              f"({speedup:.1f}x)")
+        record[name] = {
+            "iterations": iterations,
+            "cold_ms_per_call": round(1000 * cold_s / iterations, 4),
+            "warm_ms_per_call": round(1000 * warm_s / iterations, 4),
+            "speedup": round(speedup, 2),
+        }
+        # The warm path is a dict lookup; anything under 5x means the cache
+        # is broken.
+        assert warm_s * 5 < cold_s
+    record_perf("pipeline/analysis_microbench", record, path=BENCH_PATH)
+
+
+def test_routing_suite_cold_vs_warm_analysis(paper_scale):
+    """A repeat pipeline suite must be measurably faster with warm analysis."""
+    jobs = _jobs(paper_scale)
+
+    # Cold: every job pays the BFS, like the pre-pipeline per-run behaviour.
+    clear_cache()
+    start = time.perf_counter()
+    cold_outcomes = []
+    for job in jobs:
+        clear_cache()
+        cold_outcomes.append(execute_job(job))
+    cold_s = time.perf_counter() - start
+
+    # Warm: the shared cache answers every job after the first per device.
+    clear_cache()
+    for device in DEVICES:
+        from repro.arch.devices import get_device
+
+        analyze(get_device(device))
+    start = time.perf_counter()
+    warm_outcomes = [execute_job(job) for job in jobs]
+    warm_s = time.perf_counter() - start
+
+    assert all(outcome.ok for outcome in cold_outcomes + warm_outcomes)
+    # Same compiled circuits either way — the cache changes time, not output.
+    assert ([outcome.routed_qasm for outcome in cold_outcomes]
+            == [outcome.routed_qasm for outcome in warm_outcomes])
+    stats = cache_stats()
+    assert stats["hits"] >= len(jobs)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"\nrouting suite: {len(jobs)} jobs cold {cold_s:.3f}s "
+          f"vs warm {warm_s:.3f}s ({speedup:.2f}x, "
+          f"analysis stats {stats})")
+    assert warm_s < cold_s, (
+        f"warm analysis suite ({warm_s:.3f}s) should beat cold ({cold_s:.3f}s)")
+
+    record_perf("pipeline/routing_suite", {
+        "jobs": len(jobs),
+        "devices": list(DEVICES),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 3),
+        "analysis_hits": stats["hits"],
+        "analysis_misses": stats["misses"],
+        "cold_stage_seconds": _aggregate_stage_seconds(cold_outcomes),
+        "warm_stage_seconds": _aggregate_stage_seconds(warm_outcomes),
+        "paper_scale": paper_scale,
+    }, path=BENCH_PATH)

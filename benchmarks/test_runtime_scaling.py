@@ -10,7 +10,6 @@ gate count over the measured range (a loose bound — the expected behaviour is
 roughly linear with a per-router constant).
 """
 
-import pytest
 
 from repro.experiments.scaling import RuntimeScalingExperiment
 

@@ -21,7 +21,10 @@ qubit mapping problem on NISQ devices.  This package provides:
   worker-pool scheduler, Prometheus metrics and a stdlib HTTP JSON API
   (:mod:`repro.server`), and
 * a racing router portfolio — candidate specs, pluggable cost models and a
-  persistent per-device autotuner (:mod:`repro.portfolio`).
+  persistent per-device autotuner (:mod:`repro.portfolio`), and
+* a staged pass-pipeline compiler — declarative JSON stage specs, a shared
+  per-device analysis cache and content-addressed pipeline keys
+  (:mod:`repro.compiler`).
 
 Quickstart
 ----------
@@ -60,6 +63,8 @@ from repro.mapping.codar.noise_aware import NoiseAwareCodarRouter
 from repro.mapping.sabre.remapper import SabreRouter
 from repro.mapping.base import RoutingResult
 from repro.mapping.layout import Layout
+from repro.compiler import (DeviceAnalysis, Pipeline, PipelineResult,
+                            analyze, list_pipelines, pipeline_preset)
 from repro.passes.pipeline import transpile
 from repro.service import (CompilationService, CompileJob, CompileOutcome,
                            PortfolioJob, ResultCache, compile_batch,
@@ -68,7 +73,7 @@ from repro.server import CompileClient, CompileServer
 from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
                              TuningStore, build_cost_model, portfolio_preset)
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "Circuit",
@@ -100,5 +105,11 @@ __all__ = [
     "TuningStore",
     "build_cost_model",
     "portfolio_preset",
+    "DeviceAnalysis",
+    "Pipeline",
+    "PipelineResult",
+    "analyze",
+    "list_pipelines",
+    "pipeline_preset",
     "__version__",
 ]

@@ -8,7 +8,7 @@ dephasing / damping rates from the T1 / T2 columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.arch.durations import GateDurationMap, Technology

@@ -19,7 +19,7 @@ optionally a :class:`~repro.arch.calibration.DeviceCalibration` entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.arch.calibration import TABLE_I, DeviceCalibration

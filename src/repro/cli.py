@@ -13,6 +13,10 @@ Usage (``python -m repro.cli <command> ...``):
 * ``portfolio [FILES ...] [--suite] --device D [--preset fast|thorough|...]``
   Race several candidate routers per circuit on the portfolio runner and
   keep the cost-model winner; ``--tuner-file`` makes repeat traffic cheaper.
+* ``pipeline list`` / ``pipeline describe SPEC`` / ``pipeline run FILE ...``
+  Work with declarative compiler pipelines: list the built-in presets, print
+  a spec's canonical stage list + content-addressed key, or execute a
+  pipeline locally (same job path as the server, so outputs are identical).
 * ``cache --cache-dir PATH [--clear]``
   Inspect (or wipe) an on-disk compilation cache.
 * ``serve [--host H] [--port P] [--server-workers N] [--cache-dir PATH]``
@@ -266,6 +270,100 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _resolve_pipeline_spec(text: str):
+    """CLI pipeline argument: preset name, inline JSON, or ``@file.json``."""
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        return json.loads(text)
+    return text  # preset name
+
+
+def _cmd_pipeline_list(_args: argparse.Namespace) -> int:
+    from repro.compiler import list_pipelines, pipeline_preset
+
+    for name, description in list_pipelines().items():
+        preset = pipeline_preset(name)
+        print(f"{name:<12s} key={preset.key[:12]}  "
+              f"[{' > '.join(preset.stage_names)}]")
+        print(f"{'':<12s} {description}")
+    return 0
+
+
+def _cmd_pipeline_describe(args: argparse.Namespace) -> int:
+    from repro.compiler import Pipeline
+
+    try:
+        pipeline = Pipeline.from_spec(_resolve_pipeline_spec(args.spec))
+    except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(pipeline.describe(), file=sys.stderr)
+    print(f"# key: {pipeline.key}", file=sys.stderr)
+    print(json.dumps(pipeline.to_spec(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.compiler import Pipeline
+    from repro.service.executor import execute_job
+    from repro.service.jobs import CompileJob
+
+    try:
+        spec = _resolve_pipeline_spec(args.pipeline)
+        pipeline = Pipeline.from_spec(spec)
+        circuit = parse_qasm_file(args.file)
+        job = CompileJob.from_circuit(circuit, args.device, seed=args.seed,
+                                      pipeline=spec)
+    except (KeyError, ValueError, OSError, QasmError,
+            json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    outcome = execute_job(job) if cache is None else (
+        compile_batch([job], cache=cache)[0])
+    if not outcome.ok:
+        print(f"error: {outcome.error_type}: {outcome.error}", file=sys.stderr)
+        return 1
+    summary = outcome.summary
+    flag = "cached" if outcome.cache_hit else "ok"
+    print(f"# pipeline       : {pipeline.name or pipeline.key[:12]} "
+          f"({' > '.join(pipeline.stage_names)})", file=sys.stderr)
+    print(f"# job key        : {job.key}", file=sys.stderr)
+    print(f"# status         : {flag}", file=sys.stderr)
+    print(f"# circuit        : {summary['circuit']} "
+          f"({summary['original_gates']} gates, {summary['qubits']} qubits)",
+          file=sys.stderr)
+    print(f"# device         : {summary['device']}", file=sys.stderr)
+    if summary.get("router"):
+        print(f"# router         : {summary['router']} "
+              f"(swaps={summary.get('swaps')})", file=sys.stderr)
+    print(f"# weighted depth : {summary['weighted_depth']}", file=sys.stderr)
+    if "verified" in summary:
+        print(f"# verified       : {summary['verified']}", file=sys.stderr)
+    stages = ((summary.get("extra") or {}).get("stages")
+              or summary.get("stages") or [])
+    for row in stages:
+        metrics = row.get("metrics", {})
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(metrics.items()))
+        print(f"#   {row['stage']:<12s} {row['elapsed_s']:.6f}s  {rendered}",
+              file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"job": job.to_dict(), "outcome": outcome.to_dict()},
+                      handle, indent=2, sort_keys=True)
+        print(f"# record written to {args.json}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(outcome.routed_qasm)
+        print(f"# compiled QASM written to {args.output}", file=sys.stderr)
+    elif not args.quiet:
+        print(outcome.routed_qasm)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir, memory=False)
     entries = len(cache)
@@ -309,8 +407,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"queue depth <= {args.max_depth}, "
           f"cache={'disk:' + args.cache_dir if args.cache_dir else 'memory'})",
           file=sys.stderr)
-    print(f"# endpoints: POST /jobs, GET /jobs/<key>, GET /results/<key>, "
-          f"GET /metrics, GET /healthz", file=sys.stderr)
+    print("# endpoints: POST /jobs, GET /jobs/<key>, GET /results/<key>, "
+          "GET /metrics, GET /healthz", file=sys.stderr)
 
     def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
         raise KeyboardInterrupt
@@ -554,6 +652,38 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio.add_argument("--verbose", action="store_true",
                            help="print per-candidate rows to stderr")
     portfolio.set_defaults(func=_cmd_portfolio)
+
+    pipeline_cmd = sub.add_parser(
+        "pipeline", help="list, describe and run declarative compiler pipelines")
+    pipeline_sub = pipeline_cmd.add_subparsers(dest="pipeline_command",
+                                               required=True)
+    pipeline_list = pipeline_sub.add_parser(
+        "list", help="list the built-in pipeline presets")
+    pipeline_list.set_defaults(func=_cmd_pipeline_list)
+    pipeline_describe = pipeline_sub.add_parser(
+        "describe", help="print a pipeline's canonical stage list and key")
+    pipeline_describe.add_argument(
+        "spec", help="preset name, inline JSON spec, or @file.json")
+    pipeline_describe.set_defaults(func=_cmd_pipeline_describe)
+    pipeline_run = pipeline_sub.add_parser(
+        "run", help="execute a pipeline locally (same job path as the server)")
+    pipeline_run.add_argument("file", help="OpenQASM 2.0 input file")
+    pipeline_run.add_argument("--pipeline", default="default",
+                              help="preset name, inline JSON spec, or "
+                                   "@file.json (default: 'default')")
+    pipeline_run.add_argument("--device", default="ibm_q20_tokyo",
+                              help="target device (accepts parametric names)")
+    pipeline_run.add_argument("--seed", type=int,
+                              help="seed for seed-sensitive stages")
+    pipeline_run.add_argument("--cache-dir",
+                              help="on-disk result cache directory")
+    pipeline_run.add_argument("--json",
+                              help="write the job+outcome record to this file")
+    pipeline_run.add_argument("--output",
+                              help="write compiled QASM here instead of stdout")
+    pipeline_run.add_argument("--quiet", action="store_true",
+                              help="suppress the compiled QASM on stdout")
+    pipeline_run.set_defaults(func=_cmd_pipeline_run)
 
     cache = sub.add_parser("cache", help="inspect an on-disk result cache")
     cache.add_argument("--cache-dir", required=True)

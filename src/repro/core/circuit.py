@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.core.gates import Gate, GATE_SET, DurationClass, make_gate
+from repro.core.gates import Gate, make_gate
 
 
 class Circuit:

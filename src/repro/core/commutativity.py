@@ -15,7 +15,7 @@ unitary check as fallback for rare unclassified pairs.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.gates import Gate
 from repro.core.unitary import expand_to, gate_unitary, matrices_commute

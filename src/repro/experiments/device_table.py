@@ -10,6 +10,7 @@ neutral atoms).
 from __future__ import annotations
 
 from repro.arch.calibration import TABLE_I, table_rows
+from repro.arch.devices import get_device, list_devices
 from repro.arch.durations import GateDurationMap, Technology
 from repro.experiments.reporting import format_table
 
@@ -17,6 +18,29 @@ from repro.experiments.reporting import format_table
 def device_table() -> list[dict]:
     """The Table I rows (one per device column of the paper)."""
     return table_rows()
+
+
+def topology_table() -> list[dict]:
+    """Topology statistics of every registered device model.
+
+    Derived from the shared :mod:`repro.compiler` device-analysis cache, so
+    the survey and a subsequent routing run pay for each distance matrix only
+    once.
+    """
+    from repro.compiler import analyze
+
+    rows = []
+    for name in list_devices():
+        analysis = analyze(get_device(name))
+        rows.append({
+            "device": name,
+            "qubits": analysis.num_qubits,
+            "edges": sum(analysis.degrees) // 2,
+            "max_degree": max(analysis.degrees),
+            "diameter": analysis.diameter,
+            "connected": analysis.connected,
+        })
+    return rows
 
 
 def technology_duration_maps() -> dict[str, GateDurationMap]:
@@ -40,6 +64,10 @@ def report() -> str:
             "2q/1q": durations.two / durations.single,
         })
     lines.append(format_table(duration_rows))
+    lines.append("")
+    lines.append("Registered device topologies (from the shared device "
+                 "analysis cache):")
+    lines.append(format_table(topology_table()))
     return "\n".join(lines)
 
 

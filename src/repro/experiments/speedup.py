@@ -21,7 +21,7 @@ architecture.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.arch.devices import PAPER_ARCHITECTURES, Device, get_device

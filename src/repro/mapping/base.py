@@ -19,7 +19,6 @@ circuit depth of the circuits produced by CODAR and SABRE").
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 
 from repro.arch.devices import Device
@@ -81,6 +80,7 @@ class RoutingResult:
             "seed": self.seed,
             "initial_layout": self.initial_layout.physical_list(),
             "final_layout": self.final_layout.physical_list(),
+            "extra": dict(self.extra),
         }
         if include_circuits:
             from repro.qasm.exporter import circuit_to_qasm
@@ -131,6 +131,7 @@ class RoutingResult:
             runtime_seconds=data.get("runtime_s", 0.0),
             layout_strategy=data.get("layout_strategy", "degree"),
             seed=data.get("seed"),
+            extra=dict(data.get("extra") or {}),
         )
 
 
@@ -143,16 +144,17 @@ _REVERSE_TRAVERSAL_MEMO_LIMIT = 256
 
 
 def _reverse_traversal_memoized(circuit: Circuit, device: Device,
-                                seed: int | None) -> Layout:
+                                seed: int | None, rounds: int = 1) -> Layout:
     from repro.mapping.sabre.remapper import reverse_traversal_layout
     from repro.qasm.exporter import circuit_to_qasm
 
     key = (circuit_to_qasm(circuit), device.num_qubits,
-           tuple(device.coupling.edges), seed)
+           tuple(device.coupling.edges), seed, rounds)
     cached = _REVERSE_TRAVERSAL_MEMO.get(key)
     if cached is not None:
         return Layout(cached)
-    layout = reverse_traversal_layout(circuit, device, seed=seed)
+    layout = reverse_traversal_layout(circuit, device, seed=seed,
+                                      rounds=rounds)
     if len(_REVERSE_TRAVERSAL_MEMO) >= _REVERSE_TRAVERSAL_MEMO_LIMIT:
         _REVERSE_TRAVERSAL_MEMO.pop(next(iter(_REVERSE_TRAVERSAL_MEMO)))
     _REVERSE_TRAVERSAL_MEMO[key] = layout.physical_list()
@@ -179,54 +181,22 @@ class Router(abc.ABC):
             layout_strategy: str = "degree", seed: int | None = None) -> RoutingResult:
         """Route ``circuit`` onto ``device`` and package the result.
 
-        When ``initial_layout`` is omitted one is built with
-        :func:`repro.mapping.layout.initial_layout` using ``layout_strategy``;
-        the extra strategy name ``"reverse_traversal"`` runs SABRE's
-        reverse-traversal refinement, so batch jobs can request the paper's
-        shared initial mapping declaratively.  The strategy and seed are
-        recorded on the result (and in its summary) so cached and fresh runs
-        are provably reproducible.
+        This is a thin compatibility shim over a two-stage compiler pipeline
+        (``layout`` → ``route``; see :mod:`repro.compiler`): the capacity and
+        connectivity checks, the layout strategies (including the paper's
+        ``"reverse_traversal"``), timing and result packaging all live in
+        :class:`repro.compiler.stages.RouteStage` now.  The strategy and seed
+        are recorded on the result (and in its summary) so cached and fresh
+        runs are provably reproducible; ``extra["stages"]`` carries the
+        pipeline's per-stage timings.
         """
-        from repro.mapping.layout import initial_layout as build_layout
-        from repro.sim.scheduler import asap_schedule
+        from repro.compiler.pipeline import Pipeline
+        from repro.compiler.stages import LayoutStage, RouteStage
 
-        if circuit.num_qubits > device.num_qubits:
-            raise ValueError(
-                f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits but "
-                f"device {device.name!r} only has {device.num_qubits}")
-        if (any(g.num_qubits == 2 for g in circuit.gates)
-                and not device.coupling.is_connected()):
-            # SWAPs cannot cross coupling components, so every greedy router
-            # would spin forever on an unreachable pair.
-            raise ValueError(
-                f"device {device.name!r} has a disconnected coupling graph; "
-                "two-qubit gates cannot be routed on it")
-        if initial_layout is not None:
-            layout = initial_layout.copy()
-            layout_strategy = "explicit"
-        elif layout_strategy == "reverse_traversal":
-            layout = _reverse_traversal_memoized(circuit, device, seed)
-        else:
-            layout = build_layout(circuit, device.coupling, layout_strategy,
-                                  seed=seed)
-        start = time.perf_counter()
-        routed, final_layout, swap_count, extra = self._route(circuit, device, layout.copy())
-        elapsed = time.perf_counter() - start
-        schedule = asap_schedule(routed, device.durations)
-        if seed is not None:
-            extra.setdefault("seed", seed)
-        return RoutingResult(
-            router_name=self.name,
-            original=circuit,
-            routed=routed,
-            device=device,
-            initial_layout=layout,
-            final_layout=final_layout,
-            swap_count=swap_count,
-            weighted_depth=schedule.makespan,
-            depth=routed.depth(),
-            runtime_seconds=elapsed,
-            layout_strategy=layout_strategy,
-            seed=seed,
-            extra=extra,
-        )
+        stages: list = []
+        if initial_layout is None:
+            stages.append(LayoutStage(strategy=layout_strategy))
+        stages.append(RouteStage(router=self))
+        result = Pipeline(stages, name=f"router:{self.name}").run(
+            circuit, device, layout=initial_layout, seed=seed)
+        return result.routing

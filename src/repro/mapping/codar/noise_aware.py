@@ -18,7 +18,7 @@ devices with heterogeneous couplings.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.arch.coupling import CouplingGraph
@@ -27,7 +27,6 @@ from repro.core.circuit import Circuit
 from repro.core.gates import Gate
 from repro.mapping.codar.priority import swap_priority
 from repro.mapping.codar.remapper import CodarConfig, CodarRouter
-from repro.mapping.layout import Layout
 
 
 class EdgeFidelityMap:

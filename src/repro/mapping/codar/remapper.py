@@ -30,7 +30,7 @@ mechanism independently:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.devices import Device
 from repro.arch.maqam import MaQAM
@@ -89,7 +89,6 @@ class CodarRouter(Router):
 
     def _route(self, circuit: Circuit, device: Device,
                layout: Layout) -> tuple[Circuit, Layout, int, dict]:
-        config = self.config
         machine = MaQAM.create(device, layout)
         coupling = device.coupling
         checker = CommutativityChecker()

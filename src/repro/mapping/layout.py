@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.arch.coupling import CouplingGraph
 from repro.core.circuit import Circuit
@@ -109,7 +109,8 @@ class Layout:
 
     def compose_permutation(self) -> dict[int, int]:
         """Logical → physical dict view."""
-        return {l: p for l, p in enumerate(self._p_of_l)}
+        return {logical: physical
+                for logical, physical in enumerate(self._p_of_l)}
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Layout):
@@ -145,7 +146,8 @@ def degree_layout(circuit: Circuit, coupling: CouplingGraph) -> Layout:
     logical_order = sorted(range(circuit.num_qubits), key=lambda q: -counts[q])
     physical_order = sorted(range(coupling.num_qubits),
                             key=lambda q: -coupling.degree(q))
-    partial = {l: p for l, p in zip(logical_order, physical_order)}
+    partial = {logical: physical
+               for logical, physical in zip(logical_order, physical_order)}
     return Layout.from_partial(partial, coupling.num_qubits)
 
 

@@ -12,7 +12,6 @@ All passes are semantics-preserving (up to global phase) and idempotent.
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 from repro.core.circuit import Circuit
 from repro.core.gates import Gate

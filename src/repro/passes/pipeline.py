@@ -16,18 +16,14 @@ reports.  The pipeline stages are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.devices import Device
 from repro.core.circuit import Circuit
 from repro.mapping.base import Router, RoutingResult
 from repro.mapping.codar.remapper import CodarRouter
 from repro.mapping.layout import Layout
-from repro.mapping.sabre.remapper import reverse_traversal_layout
-from repro.mapping.verification import check_coupling_compliance, check_equivalence
-from repro.passes.decompose import decompose_to_basis
-from repro.passes.optimize import optimize_circuit
-from repro.sim.scheduler import Schedule, asap_schedule
+from repro.sim.scheduler import Schedule
 
 
 @dataclass
@@ -90,36 +86,35 @@ def transpile(circuit: Circuit, device: Device,
         Check coupling compliance (always cheap) and, for circuits of at most
         10 qubits, semantic equivalence of the routed circuit.
     """
-    router = router or CodarRouter()
-    working = optimize_circuit(circuit) if optimize else circuit
+    from repro.compiler.pipeline import Pipeline
+    from repro.compiler.stages import (DecomposeStage, LayoutStage,
+                                       OptimizeStage, RouteStage,
+                                       ScheduleStage, VerifyStage)
 
-    if initial_layout is None:
-        initial_layout = reverse_traversal_layout(working, device,
-                                                  rounds=reverse_traversal_rounds)
-    routing = router.run(working, device, initial_layout=initial_layout)
-
-    compiled = routing.routed
-    if basis is not None:
-        compiled = decompose_to_basis(compiled, basis)
+    stages: list = []
     if optimize:
-        compiled = optimize_circuit(compiled)
-
-    verified = True
-    equivalence_checked = False
+        stages.append(OptimizeStage())
+    if initial_layout is None:
+        stages.append(LayoutStage(strategy="reverse_traversal",
+                                  rounds=reverse_traversal_rounds))
+    stages.append(RouteStage(router=router or CodarRouter()))
+    if basis is not None:
+        stages.append(DecomposeStage(basis=basis))
+    if optimize:
+        stages.append(OptimizeStage())
     if verify:
-        violations = check_coupling_compliance(routing)
-        verified = not violations
-        if verified and circuit.num_qubits <= 10:
-            equivalence_checked = True
-            verified = check_equivalence(routing, samples=2)
+        stages.append(VerifyStage(samples=2))
+    stages.append(ScheduleStage())
 
-    schedule = asap_schedule(compiled, device.durations)
+    result = Pipeline(stages, name="transpile").run(circuit, device,
+                                                    layout=initial_layout)
+    properties = result.context.properties
     return TranspileResult(
         original=circuit,
-        compiled=compiled,
-        routing=routing,
-        schedule=schedule,
+        compiled=result.compiled,
+        routing=result.routing,
+        schedule=result.schedule,
         device=device,
-        verified=verified,
-        equivalence_checked=equivalence_checked,
+        verified=bool(properties.get("verified", True)),
+        equivalence_checked=bool(properties.get("equivalence_checked", False)),
     )

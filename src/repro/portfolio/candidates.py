@@ -26,16 +26,14 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.compiler.stages import LAYOUT_STRATEGIES
 from repro.service.jobs import CompileJob
 from repro.service.registry import ROUTERS
-
-#: Layout strategies a candidate may declare (mirrors ``Router.run``).
-LAYOUT_STRATEGIES = ("degree", "identity", "random", "reverse_traversal")
 
 
 @dataclass(frozen=True)
 class Candidate:
-    """One portfolio entry: a router configuration to race.
+    """One portfolio entry: a router configuration (or pipeline) to race.
 
     Parameters
     ----------
@@ -50,12 +48,19 @@ class Candidate:
         replayable.
     label:
         Display name; defaults to ``router/strategy`` (plus ``#seed``).
+    pipeline:
+        Optional compiler-pipeline spec (preset name or stage list; see
+        :mod:`repro.compiler`).  When set, the candidate's job runs the full
+        staged pipeline instead of the bare router — ``router`` and
+        ``layout_strategy`` are then ignored by execution and the pipeline's
+        canonical stage list joins the candidate key.
     """
 
-    router: Mapping | str
+    router: Mapping | str = "codar"
     layout_strategy: str = "degree"
     seed: int | None = None
     label: str = ""
+    pipeline: "list | str | dict | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "router", ROUTERS.normalize(self.router))
@@ -63,6 +68,26 @@ class Candidate:
             raise ValueError(
                 f"unknown layout strategy {self.layout_strategy!r}; "
                 f"known: {LAYOUT_STRATEGIES}")
+        if self.pipeline is not None:
+            from repro.compiler.pipeline import Pipeline
+
+            pipeline = Pipeline.from_spec(self.pipeline)
+            object.__setattr__(self, "pipeline",
+                               pipeline.to_spec()["stages"])
+            route_stages = [stage for stage in self.pipeline
+                            if stage["name"] == "route"]
+            if not route_stages:
+                # An unrouted circuit would "win" every depth-based race and
+                # the victory would be attributed to a router that never ran.
+                raise ValueError(
+                    "a portfolio candidate pipeline needs a 'route' stage")
+            # Mirror the pipeline's route stage onto ``router`` so win
+            # attribution and queue tickets name the real algorithm.
+            object.__setattr__(self, "router",
+                               dict(route_stages[0]["params"]["router"]))
+            if not self.label:
+                name = pipeline.name or "+".join(pipeline.stage_names)
+                object.__setattr__(self, "label", f"pipeline:{name}")
         if not self.label:
             label = f"{self.router['name']}/{self.layout_strategy}"
             if self.seed is not None:
@@ -75,24 +100,37 @@ class Candidate:
         """Content-addressed identity (sha256 over the canonical spec JSON).
 
         The label is presentation only and excluded, so renaming a candidate
-        does not orphan its tuning history.
+        does not orphan its tuning history.  Pipeline-less candidates keep
+        their historical keys (the field joins the payload only when set).
         """
-        payload = json.dumps({
-            "router": self.router,
-            "layout_strategy": self.layout_strategy,
-            "seed": self.seed,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        if self.pipeline is not None:
+            # The router is derived from the route stage and layout_strategy
+            # is ignored by pipeline execution — hashing either would split
+            # one pipeline's tuning history across several keys.
+            payload = {"pipeline": self.pipeline, "seed": self.seed}
+        else:
+            payload = {
+                "router": self.router,
+                "layout_strategy": self.layout_strategy,
+                "seed": self.seed,
+            }
+        return hashlib.sha256(json.dumps(payload, sort_keys=True)
+                              .encode("utf-8")).hexdigest()
 
     def to_dict(self) -> dict:
-        return {"router": self.router, "layout_strategy": self.layout_strategy,
+        data = {"router": self.router,
+                "layout_strategy": self.layout_strategy,
                 "seed": self.seed, "label": self.label}
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Candidate":
-        return cls(router=data["router"],
+        return cls(router=data.get("router", "codar"),
                    layout_strategy=data.get("layout_strategy", "degree"),
-                   seed=data.get("seed"), label=data.get("label", ""))
+                   seed=data.get("seed"), label=data.get("label", ""),
+                   pipeline=data.get("pipeline"))
 
     # ------------------------------------------------------------------ #
     def job_for(self, qasm: str, device: Mapping | str, *,
@@ -106,17 +144,18 @@ class Candidate:
         seed = self.seed if self.seed is not None else default_seed
         return CompileJob(qasm=qasm, device=device, router=self.router,
                           layout_strategy=self.layout_strategy, seed=seed,
-                          circuit_name=circuit_name)
+                          circuit_name=circuit_name, pipeline=self.pipeline)
 
     def with_seed(self, seed: int | None) -> "Candidate":
         """A copy pinned to ``seed`` (keeps an explicit seed if already set)."""
         if self.seed is not None:
             return self
-        label = "" if self.label == f"{self.router['name']}/{self.layout_strategy}" \
-            else self.label  # regenerate auto labels; keep custom ones
+        auto_labels = (f"{self.router['name']}/{self.layout_strategy}",)
+        label = "" if (self.label in auto_labels
+                       or self.label.startswith("pipeline:")) else self.label
         return Candidate(router=self.router,
                          layout_strategy=self.layout_strategy, seed=seed,
-                         label=label)
+                         label=label, pipeline=self.pipeline)
 
 
 # --------------------------------------------------------------------------- #
@@ -188,7 +227,8 @@ def resolve_candidates(candidates: str | Candidate | Mapping |
     for item in items:
         if isinstance(item, Candidate):
             candidate = item
-        elif isinstance(item, Mapping) and "router" in item:
+        elif isinstance(item, Mapping) and ("router" in item
+                                            or "pipeline" in item):
             candidate = Candidate.from_dict(item)
         else:
             candidate = Candidate(router=item)

@@ -10,7 +10,6 @@ parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 
 # --------------------------------------------------------------------------- #

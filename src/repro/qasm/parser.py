@@ -17,7 +17,7 @@ ScaffCC / Qiskit unroller would do for the paper's benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.core.circuit import Circuit
 from repro.core.gates import GATE_SET, Gate

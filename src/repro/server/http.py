@@ -5,6 +5,9 @@ Endpoints (all JSON unless noted):
 * ``POST /jobs`` — submit a job.  Body: a :meth:`CompileJob.to_dict` payload,
   either bare or under ``"job"``, plus optional ``"priority"`` (int, lower
   runs first), ``"wait"`` (bool) and ``"timeout"`` (seconds, with ``wait``).
+  A payload carrying a ``"pipeline"`` key (preset name or stage-spec list,
+  see :mod:`repro.compiler`) runs the staged pass pipeline instead of a bare
+  router and is cached under a key that changes with any stage spec.
   Replies ``202`` with ``{key, status, coalesced}`` on admission, ``200`` with
   the outcome when ``wait`` resolved in time, ``429`` when the queue is full,
   ``400`` on a malformed job and ``503`` once shutdown has begun.
@@ -16,7 +19,9 @@ Endpoints (all JSON unless noted):
 * ``GET /jobs/<key>`` — ticket status snapshot; ``404`` for unknown keys.
 * ``GET /results/<key>`` — ``{key, cache_hit, outcome}`` when finished
   (recent ticket or result cache), ``202`` while in flight, ``404`` unknown.
-* ``GET /metrics`` — Prometheus text exposition (``text/plain``).
+* ``GET /metrics`` — Prometheus text exposition (``text/plain``), including
+  per-pipeline-stage cumulative timings
+  (``repro_server_stage_seconds_total{stage=...}``).
 * ``GET /healthz`` — liveness plus a metrics/cache snapshot.
 
 The server is a ``ThreadingHTTPServer``: each request gets a thread, so a

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 #: Log-spaced seconds from 0.5 ms to ~2 min; compile jobs and queue waits
 #: both land comfortably inside this range.
@@ -112,6 +112,10 @@ class ServerMetrics:
         self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}
         #: Portfolio wins per router name (a labeled counter).
         self._wins: dict[str, int] = {}
+        #: Per-pipeline-stage cumulative wall-clock and run counts (labeled
+        #: counters fed by the compiler pipeline's stage timing records).
+        self._stage_seconds: dict[str, float] = {}
+        self._stage_runs: dict[str, int] = {}
         self._gauges: dict[str, Callable[[], float]] = {}
         self.wait_seconds = Histogram()
         self.service_seconds = Histogram()
@@ -140,6 +144,28 @@ class ServerMetrics:
             self._portfolio["hedged"] += int(stats.get("hedged", 0))
             if winner_router:
                 self._wins[winner_router] = self._wins.get(winner_router, 0) + 1
+
+    def observe_stages(self, stages: Iterable[Mapping]) -> None:
+        """Record one executed job's per-stage timing records.
+
+        ``stages`` is the ``"stages"`` list the compiler pipeline attaches to
+        a routing summary (``[{"stage", "elapsed_s", ...}, ...]``).  Cache
+        replays should not be recorded — their timings describe the original
+        run.
+        """
+        with self._lock:
+            for row in stages:
+                name = str(row.get("stage", "unknown"))
+                self._stage_seconds[name] = (self._stage_seconds.get(name, 0.0)
+                                             + float(row.get("elapsed_s", 0.0)))
+                self._stage_runs[name] = self._stage_runs.get(name, 0) + 1
+
+    def stage_timings(self) -> dict[str, dict]:
+        """Per-stage cumulative seconds and run counts (copy)."""
+        with self._lock:
+            return {name: {"runs": self._stage_runs[name],
+                           "seconds": round(self._stage_seconds[name], 6)}
+                    for name in sorted(self._stage_runs)}
 
     def portfolio_counter(self, name: str) -> int:
         with self._lock:
@@ -182,6 +208,10 @@ class ServerMetrics:
             data["service_seconds"] = self.service_seconds.as_dict()
             data["portfolio"] = dict(self._portfolio)
             data["portfolio"]["wins"] = dict(self._wins)
+            data["stages"] = {name: {"runs": self._stage_runs[name],
+                                     "seconds": round(
+                                         self._stage_seconds[name], 6)}
+                              for name in sorted(self._stage_runs)}
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
         data.update(gauges)
@@ -207,6 +237,19 @@ class ServerMetrics:
             lines.append(f"# TYPE {metric} counter")
             for router in sorted(self._wins):
                 lines.append(f'{metric}{{router="{router}"}} {self._wins[router]}')
+            metric = f"{prefix}_stage_seconds_total"
+            lines.append(f"# HELP {metric} Cumulative pipeline-stage "
+                         "execution seconds.")
+            lines.append(f"# TYPE {metric} counter")
+            for name in sorted(self._stage_seconds):
+                lines.append(f'{metric}{{stage="{name}"}} '
+                             f'{_format_value(round(self._stage_seconds[name], 6))}')
+            metric = f"{prefix}_stage_runs_total"
+            lines.append(f"# HELP {metric} Pipeline-stage executions.")
+            lines.append(f"# TYPE {metric} counter")
+            for name in sorted(self._stage_runs):
+                lines.append(f'{metric}{{stage="{name}"}} '
+                             f'{self._stage_runs[name]}')
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
             histograms = (("job_wait_seconds", self.wait_seconds,

@@ -188,6 +188,14 @@ class Scheduler:
                 # A cache replay embeds the original run's stats; only count
                 # portfolio runs that actually raced candidates here.
                 self.metrics.observe_portfolio(outcome.summary["portfolio"])
+            if outcome.ok and not outcome.cache_hit and outcome.summary:
+                # Pipeline stage timings ride on the routing summary (inside
+                # ``extra`` for routed results, top-level for routeless
+                # pipelines); same cache-replay rule as portfolio stats.
+                stages = ((outcome.summary.get("extra") or {}).get("stages")
+                          or outcome.summary.get("stages"))
+                if stages:
+                    self.metrics.observe_stages(stages)
 
     def _execute(self, job: CompileJob) -> CompileOutcome:
         if self.job_timeout is None:

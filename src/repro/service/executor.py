@@ -42,6 +42,16 @@ def execute_job(job, cache: ResultCache | None = None) -> CompileOutcome:
         from repro.service.registry import build_device, build_router
 
         device = build_device(job.device)
+        if getattr(job, "pipeline", None):
+            from repro.compiler.pipeline import Pipeline
+
+            pipeline = Pipeline.from_spec({"stages": job.pipeline})
+            result = pipeline.run(job.qasm, device, seed=job.effective_seed,
+                                  circuit_name=job.circuit_name)
+            return CompileOutcome(job_key=job.key, status="ok",
+                                  summary=result.summary(),
+                                  routed_qasm=circuit_to_qasm(result.compiled),
+                                  elapsed_s=time.perf_counter() - start)
         router = build_router(job.router)
         circuit = parse_qasm(job.qasm, name=job.circuit_name)
         result = router.run(circuit, device,

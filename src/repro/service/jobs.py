@@ -29,7 +29,16 @@ SCHEMA_VERSION = 1
 
 @dataclass
 class CompileJob:
-    """One (circuit, device, router, layout, seed) compilation request."""
+    """One (circuit, device, router, layout, seed) compilation request.
+
+    ``pipeline`` upgrades the job from "run this router" to "run this staged
+    pass pipeline" (see :mod:`repro.compiler`): a preset name or stage-spec
+    list, normalised into the canonical stage list and hashed into the job
+    key — so any stage-parameter change misses the cache — while jobs without
+    one keep their historical keys byte-for-byte.  When a pipeline is given
+    the ``router``/``layout_strategy`` fields are ignored (the pipeline's own
+    ``layout``/``route`` stages decide).
+    """
 
     #: Job-kind discriminator used by :func:`job_from_dict`.
     kind = "compile"
@@ -40,16 +49,22 @@ class CompileJob:
     layout_strategy: str = "degree"
     seed: int | None = None
     circuit_name: str = "circuit"
+    pipeline: list | str | dict | None = None
 
     def __post_init__(self) -> None:
         self.device = device_spec(self.device)
         self.router = router_spec(self.router)
+        if self.pipeline is not None:
+            from repro.compiler.pipeline import canonical_stage_specs
+
+            self.pipeline = canonical_stage_specs(self.pipeline)
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_circuit(cls, circuit: Circuit | str, device, router="codar", *,
                      layout_strategy: str = "degree",
-                     seed: int | None = None) -> "CompileJob":
+                     seed: int | None = None,
+                     pipeline=None) -> "CompileJob":
         """Build a job from a :class:`Circuit` (or raw QASM text)."""
         if isinstance(circuit, Circuit):
             from repro.qasm.exporter import circuit_to_qasm
@@ -59,13 +74,13 @@ class CompileJob:
             qasm, name = str(circuit), "circuit"
         return cls(qasm=qasm, device=device, router=router,
                    layout_strategy=layout_strategy, seed=seed,
-                   circuit_name=name)
+                   circuit_name=name, pipeline=pipeline)
 
     # ------------------------------------------------------------------ #
     @property
     def key(self) -> str:
         """Content-addressed identity: sha256 over the canonical job JSON."""
-        payload = json.dumps({
+        payload = {
             "version": SCHEMA_VERSION,
             "qasm": self.qasm,
             "device": self.device,
@@ -73,8 +88,18 @@ class CompileJob:
             "layout_strategy": self.layout_strategy,
             "seed": self.seed,
             "circuit": self.circuit_name,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        }
+        if self.pipeline is not None:
+            # Only pipeline jobs hash the stage list, keeping every
+            # pre-pipeline job key (and its cache entries) stable.  The
+            # router/layout_strategy fields are ignored by pipeline execution
+            # (the stage specs decide), so they leave the key too — otherwise
+            # two identical pipeline submissions with different vestigial
+            # router fields would neither coalesce nor share cache entries.
+            payload["pipeline"] = self.pipeline
+            del payload["router"], payload["layout_strategy"]
+        return hashlib.sha256(json.dumps(payload, sort_keys=True)
+                              .encode("utf-8")).hexdigest()
 
     @property
     def effective_seed(self) -> int:
@@ -89,7 +114,7 @@ class CompileJob:
         return int(self.key[:8], 16)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "qasm": self.qasm,
             "device": self.device,
             "router": self.router,
@@ -97,14 +122,25 @@ class CompileJob:
             "seed": self.seed,
             "circuit_name": self.circuit_name,
         }
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CompileJob":
+        # Only pipeline payloads may omit the router (their stage specs
+        # decide); a plain payload without one is malformed and must keep
+        # raising KeyError so the server's 400 mapping fires.
+        if "router" in data or data.get("pipeline") is None:
+            router = data["router"]
+        else:
+            router = "codar"
         return cls(qasm=data["qasm"], device=data["device"],
-                   router=data["router"],
+                   router=router,
                    layout_strategy=data.get("layout_strategy", "degree"),
                    seed=data.get("seed"),
-                   circuit_name=data.get("circuit_name", "circuit"))
+                   circuit_name=data.get("circuit_name", "circuit"),
+                   pipeline=data.get("pipeline"))
 
 
 @dataclass

@@ -1,6 +1,5 @@
 """Tests for the extended algorithm workloads (`repro.workloads.algorithms`)."""
 
-import math
 
 import numpy as np
 import pytest

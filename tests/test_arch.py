@@ -1,6 +1,5 @@
 """Tests for the architecture abstraction: coupling graphs, durations, devices."""
 
-import math
 
 import pytest
 
@@ -17,7 +16,6 @@ from repro.arch.durations import (
     ION_TRAP_DURATIONS,
     NEUTRAL_ATOM_DURATIONS,
     SUPERCONDUCTING_DURATIONS,
-    Technology,
     UNIFORM_DURATIONS,
 )
 from repro.arch.maqam import MaQAM, QubitLocks

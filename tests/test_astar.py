@@ -32,7 +32,8 @@ class TestLayers:
     def test_every_gate_lands_in_exactly_one_layer(self):
         circuit = gen.random_circuit(8, 120, seed=11)
         layers = two_qubit_layers(circuit)
-        total = sum(len(l.two_qubit) + len(l.passthrough) for l in layers)
+        total = sum(len(layer.two_qubit) + len(layer.passthrough)
+                    for layer in layers)
         assert total == len(circuit)
 
     def test_concatenation_preserves_per_qubit_order(self):
@@ -68,7 +69,7 @@ class TestLayers:
         layers = two_qubit_layers(circuit)
         # The barrier forces the second CX into a later layer even though it
         # shares no qubit with the first.
-        cx_layers = [l.index for l in layers if l.two_qubit]
+        cx_layers = [layer.index for layer in layers if layer.two_qubit]
         assert len(cx_layers) == 2 and cx_layers[0] < cx_layers[1]
 
     def test_empty_circuit_has_no_layers(self):

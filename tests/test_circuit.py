@@ -1,6 +1,5 @@
 """Unit tests for the Circuit container (repro.core.circuit)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for the circuit dependency DAG."""
 
-import pytest
 
 from repro.core.circuit import Circuit
 from repro.core.dag import CircuitDag

@@ -1,6 +1,5 @@
 """Tests for the experiment harnesses (Table I, Fig. 1/2, Fig. 8, Fig. 9, ablation)."""
 
-import math
 
 import pytest
 

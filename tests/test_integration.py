@@ -8,11 +8,8 @@ cases) push it through the noisy simulator.
 
 import pytest
 
-from repro.arch.devices import get_device, paper_devices
-
-pytestmark = pytest.mark.slow
+from repro.arch.devices import get_device
 from repro.arch.durations import GateDurationMap
-from repro.core.circuit import Circuit
 from repro.mapping.codar.remapper import CodarRouter
 from repro.mapping.sabre.remapper import SabreRouter, reverse_traversal_layout
 from repro.mapping.trivial import TrivialRouter
@@ -23,6 +20,8 @@ from repro.sim.noise import NoiseModel
 from repro.sim.scheduler import asap_schedule
 from repro.workloads import bernstein_vazirani, ghz, qaoa_maxcut, qft
 from repro.workloads.suite import benchmark_suite, get_benchmark
+
+pytestmark = pytest.mark.slow
 
 
 ROUTERS = [CodarRouter(), SabreRouter(), TrivialRouter()]

@@ -1,6 +1,5 @@
 """Tests for noise channels, the density-matrix simulator and fidelity evaluation."""
 
-import math
 
 import numpy as np
 import pytest

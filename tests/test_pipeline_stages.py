@@ -1,0 +1,258 @@
+"""Stage-level tests: the passes package as first-class pipeline stages,
+the pipeline CLI, and the server acceptance path for JSON pipeline specs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import get_device
+from repro.cli import main
+from repro.compiler import (DecomposeStage, LayoutStage, OptimizeStage,
+                            OrientationStage, ParseStage, Pipeline,
+                            PipelineContext, VerifyStage, pipeline_preset)
+from repro.core.circuit import Circuit
+from repro.core.unitary import circuit_unitary
+from repro.passes.decompose import BASIS_ION_TRAP
+from repro.qasm.exporter import circuit_to_qasm
+from repro.workloads.generators import ghz, qft
+
+
+def equal_up_to_phase(circuit_a: Circuit, circuit_b: Circuit) -> bool:
+    a = circuit_unitary(circuit_a.without_measurements())
+    b = circuit_unitary(circuit_b.without_measurements())
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(b[index]) < 1e-12:
+        return False
+    return np.allclose(a / a[index], b / b[index], atol=1e-8)
+
+
+# --------------------------------------------------------------------------- #
+# Individual stages
+# --------------------------------------------------------------------------- #
+class TestParseStage:
+    def test_parses_qasm_and_sets_original(self):
+        context = PipelineContext(device=get_device("line", num_qubits=3),
+                                  qasm=circuit_to_qasm(ghz(3)),
+                                  circuit_name="mine")
+        metrics = ParseStage().run(context)
+        assert context.circuit is not None
+        assert context.original is context.circuit
+        assert metrics == {"gates": len(context.circuit), "qubits": 3}
+
+    def test_without_circuit_or_qasm_raises(self):
+        context = PipelineContext(device=get_device("line", num_qubits=2))
+        with pytest.raises(ValueError, match="neither a circuit nor QASM"):
+            ParseStage().run(context)
+
+
+class TestDecomposeStage:
+    def test_ion_trap_stage_in_a_pipeline(self):
+        pipeline = Pipeline.from_spec([
+            "parse", "layout", {"name": "route"},
+            {"name": "decompose", "params": {"basis": "ion_trap"}},
+            "optimize", "schedule"])
+        result = pipeline.run(qft(4), get_device("line", num_qubits=4))
+        names = {g.name for g in result.compiled if not g.is_measure}
+        assert names <= BASIS_ION_TRAP
+
+    def test_explicit_basis_list_is_canonicalised(self):
+        stage = DecomposeStage(basis=["rz", "ry", "rx", "id"])
+        assert stage.params() == {"basis": ["id", "rx", "ry", "rz"]}
+        context = PipelineContext(device=get_device("line", num_qubits=1),
+                                  circuit=Circuit(1).h(0))
+        stage.run(context)
+        assert {g.name for g in context.circuit} <= {"rz", "ry", "rx", "id"}
+
+    def test_unknown_named_basis_rejected(self):
+        with pytest.raises(ValueError, match="unknown named basis"):
+            DecomposeStage(basis="morse_code")
+
+    def test_decomposition_preserves_semantics(self):
+        circ = Circuit(2).h(0).cx(0, 1).swap(0, 1)
+        context = PipelineContext(device=get_device("line", num_qubits=2),
+                                  circuit=circ)
+        DecomposeStage(basis="ion_trap").run(context)
+        assert equal_up_to_phase(circ, context.circuit)
+
+
+class TestOptimizeStage:
+    def test_removes_redundant_gates(self):
+        context = PipelineContext(
+            device=get_device("line", num_qubits=2),
+            circuit=Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1))
+        metrics = OptimizeStage().run(context)
+        assert len(context.circuit) == 0
+        assert metrics == {"gates_in": 4, "gates_out": 0}
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            OptimizeStage(max_rounds=0)
+
+    def test_optimisation_preserves_semantics(self):
+        circ = qft(3)
+        context = PipelineContext(device=get_device("line", num_qubits=3),
+                                  circuit=circ)
+        OptimizeStage().run(context)
+        assert equal_up_to_phase(circ, context.circuit)
+
+
+class TestOrientationStage:
+    def test_noop_on_undirected_devices(self):
+        circ = ghz(3)
+        context = PipelineContext(device=get_device("line", num_qubits=3),
+                                  circuit=circ)
+        metrics = OrientationStage().run(context)
+        assert metrics == {"oriented": False}
+        assert context.circuit is circ
+        assert context.properties["oriented"] is False
+
+    def test_orients_routed_circuit_on_directed_device(self):
+        device = get_device("ibm_qx4")
+        pipeline = Pipeline.from_spec([
+            "parse", "layout", {"name": "route"}, "orientation", "schedule"])
+        result = pipeline.run(ghz(5), device)
+        for gate in result.compiled.gates:
+            if gate.name == "cx":
+                assert device.directed.allows(*gate.qubits)
+        record = [row for row in result.stage_timings()
+                  if row["stage"] == "orientation"][0]
+        assert record["metrics"]["oriented"] is True
+
+    def test_directed_preset_keeps_semantics(self):
+        result = pipeline_preset("directed").run(ghz(4),
+                                                 get_device("ibm_qx5"))
+        assert result.routing is not None
+        assert result.context.properties["oriented"] is True
+
+    def test_unrouted_circuit_rejected(self):
+        device = get_device("ibm_qx4")
+        context = PipelineContext(device=device,
+                                  circuit=Circuit(5).cx(0, 3))
+        with pytest.raises(ValueError,
+                           match="not coupled|not coupling-compliant"):
+            OrientationStage().run(context)
+
+
+class TestVerifyAndLayoutStages:
+    def test_strict_verify_raises_on_violation(self):
+        from repro.mapping.base import RoutingResult
+        from repro.mapping.layout import Layout
+
+        device = get_device("line", num_qubits=3)
+        broken = Circuit(3).cx(0, 2)  # not adjacent on a line
+        routing = RoutingResult(
+            router_name="fake", original=broken, routed=broken,
+            device=device, initial_layout=Layout.identity(3),
+            final_layout=Layout.identity(3), swap_count=0,
+            weighted_depth=2.0, depth=1)
+        context = PipelineContext(device=device, circuit=broken,
+                                  routing=routing)
+        VerifyStage().run(context)
+        assert context.properties["verified"] is False
+        with pytest.raises(ValueError, match="verification failed"):
+            VerifyStage(strict=True).run(context)
+
+    def test_layout_strategy_validated(self):
+        with pytest.raises(ValueError, match="unknown layout strategy"):
+            LayoutStage(strategy="astrology")
+
+    def test_reverse_traversal_rounds(self):
+        context = PipelineContext(device=get_device("ibm_q20_tokyo"),
+                                  circuit=qft(4))
+        LayoutStage(strategy="reverse_traversal", rounds=2).run(context)
+        assert context.layout is not None
+        assert context.layout_strategy == "reverse_traversal"
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestPipelineCli:
+    def test_pipeline_list(self, capsys):
+        assert main(["pipeline", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "default" in out and "route_only" in out
+
+    def test_pipeline_describe_preset(self, capsys):
+        assert main(["pipeline", "describe", "default"]) == 0
+        captured = capsys.readouterr()
+        spec = json.loads(captured.out)
+        assert [s["name"] for s in spec["stages"]][:2] == ["parse", "optimize"]
+        assert "# key:" in captured.err
+
+    def test_pipeline_describe_unknown(self, capsys):
+        assert main(["pipeline", "describe", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_pipeline_run_preset(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(circuit_to_qasm(ghz(4)))
+        record = tmp_path / "record.json"
+        code = main(["pipeline", "run", str(qasm), "--pipeline", "route_only",
+                     "--device", "ibm_q20_tokyo", "--quiet",
+                     "--json", str(record)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "weighted depth" in captured.err
+        assert "route" in captured.err
+        data = json.loads(record.read_text())
+        assert data["outcome"]["status"] == "ok"
+        assert data["job"]["pipeline"][0]["name"] == "parse"
+
+    def test_pipeline_run_spec_file(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(circuit_to_qasm(ghz(3)))
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(["parse", "layout", {"name": "route"},
+                                    "schedule"]))
+        assert main(["pipeline", "run", str(qasm), "--pipeline",
+                     f"@{spec}", "--device", "line_3", "--quiet"]) == 0
+        assert "pipeline" in capsys.readouterr().err
+
+    def test_pipeline_run_bad_spec(self, tmp_path, capsys):
+        qasm = tmp_path / "ghz.qasm"
+        qasm.write_text(circuit_to_qasm(ghz(3)))
+        assert main(["pipeline", "run", str(qasm), "--pipeline",
+                     '["warp_drive"]']) == 2
+        assert "unknown stage" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: POST /jobs with a pipeline spec == local `pipeline run`
+# --------------------------------------------------------------------------- #
+@pytest.mark.slow
+class TestServerPipelineAcceptance:
+    def test_http_pipeline_job_matches_local_run_and_reports_stage_metrics(self):
+        from repro.server import CompileClient, CompileServer
+        from repro.service.executor import execute_job
+        from repro.service.jobs import CompileJob
+
+        job = CompileJob.from_circuit(qft(4), "ibm_q20_tokyo",
+                                      pipeline="default")
+        local = execute_job(job)
+        with CompileServer(port=0, workers=2) as server:
+            client = CompileClient(server.url)
+            remote = client.compile(job, timeout=60.0)
+            # Same key, same compiled circuit, same metrics.
+            assert remote.job_key == local.job_key == job.key
+            assert remote.routed_qasm == local.routed_qasm
+            stable = lambda s: {k: v for k, v in s.items()  # noqa: E731
+                                if k not in ("runtime_s", "wall_s", "extra")}
+            assert stable(remote.summary) == stable(local.summary)
+            # A changed stage spec misses the cache (different key).
+            stages = [dict(spec, params=dict(spec["params"]))
+                      for spec in job.pipeline]
+            assert stages[1]["name"] == "optimize"
+            stages[1]["params"]["max_rounds"] = 2
+            tweaked = CompileJob.from_dict({**job.to_dict(),
+                                            "pipeline": stages})
+            assert tweaked.key != job.key
+            cold = client.compile(tweaked, timeout=60.0)
+            assert not cold.cache_hit and cold.ok
+            # /metrics exposes per-stage timing counters.
+            samples = client.metrics()
+            assert samples.get(
+                'repro_server_stage_runs_total{stage="route"}', 0) >= 2
+            assert samples.get(
+                'repro_server_stage_seconds_total{stage="route"}', 0) > 0

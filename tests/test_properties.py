@@ -11,7 +11,6 @@ These cover the invariants the rest of the system leans on:
   equivalent to their input for random small circuits.
 """
 
-import math
 
 from hypothesis import HealthCheck, assume, given, settings, strategies as st
 

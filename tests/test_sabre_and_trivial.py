@@ -1,6 +1,5 @@
 """Tests for the SABRE baseline and the trivial shortest-path router."""
 
-import pytest
 
 from repro.arch.coupling import CouplingGraph
 from repro.arch.devices import get_device

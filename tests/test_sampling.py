@@ -1,6 +1,5 @@
 """Tests for shot sampling and count-distribution comparison."""
 
-import math
 from collections import Counter
 
 import pytest

@@ -8,7 +8,7 @@ from repro.mapping.codar.remapper import CodarRouter
 from repro.mapping.sabre.remapper import SabreRouter
 from repro.qasm import circuit_to_qasm, parse_qasm
 from repro.service import (CompilationService, CompileJob, CompileOutcome,
-                           DEVICES, ROUTERS, ResultCache, build_device,
+                           ROUTERS, ResultCache, build_device,
                            build_router, compile_batch, compile_one,
                            device_spec, make_job, router_spec, sweep)
 from repro.workloads.generators import ghz, qft
@@ -21,6 +21,11 @@ def _stable(outcome) -> dict:
     if data["summary"] is not None:
         data["summary"] = {k: v for k, v in data["summary"].items()
                            if k != "runtime_s"}
+        extra = data["summary"].get("extra")
+        if extra is not None:
+            # Per-stage timing records are wall-clock too.
+            data["summary"]["extra"] = {k: v for k, v in extra.items()
+                                        if k != "stages"}
     return data
 
 

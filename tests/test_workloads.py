@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.circuit import Circuit
-from repro.core.unitary import circuit_unitary
-from repro.sim.statevector import StatevectorSimulator, zero_state
+from repro.sim.statevector import StatevectorSimulator
 from repro.workloads import (
     bernstein_vazirani,
     deutsch_jozsa,
