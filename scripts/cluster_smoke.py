@@ -1,0 +1,98 @@
+"""2-shard cluster smoke test: submit, kill one shard, verify failover.
+
+Boots a real :class:`~repro.cluster.local.LocalShardFleet` (two
+compile-server processes) behind a :class:`ClusterGateway`, then walks the
+failure rehearsal the cluster layer exists for:
+
+1. submit distinct jobs through the gateway — both shards take traffic,
+2. storm duplicates of one job — exactly one compilation cluster-wide,
+3. ``SIGTERM`` an entire shard process mid-workload,
+4. keep submitting — every key the dead shard owned fails over to the
+   survivor and every client wait completes,
+5. confirm the gateway health surface reports the ejection.
+
+Exit code 0 on success; any assertion failure is a non-zero exit for CI.
+Run from the repo root: ``PYTHONPATH=src python scripts/cluster_smoke.py``.
+"""
+
+import sys
+import threading
+import time
+
+from repro.cluster import ClusterGateway, LocalShardFleet
+from repro.server import CompileClient
+from repro.service import make_job
+from repro.workloads.generators import ghz
+
+
+def main() -> int:
+    jobs = [make_job(ghz(3 + (seed % 3)), "ibm_q20_tokyo", "codar",
+                     seed=seed) for seed in range(6)]
+    started = time.perf_counter()
+    with LocalShardFleet(shards=2, workers=2) as fleet:
+        print(f"[smoke] shards up: {fleet.urls}")
+        with ClusterGateway(fleet.urls, health_interval=0.5,
+                            probe_timeout=1.0) as gateway:
+            client = CompileClient(gateway.url, retries=3)
+
+            # 1. distinct jobs spread over both shards
+            for job in jobs:
+                outcome = client.compile(job, timeout=120.0)
+                assert outcome.ok, outcome.error
+            print(f"[smoke] {len(jobs)} distinct jobs compiled")
+
+            # 2. duplicate storm coalesces/caches onto one shard
+            dup = make_job(ghz(6), "ibm_q20_tokyo", "codar")
+            errors: list = []
+
+            def storm():
+                try:
+                    reply = CompileClient(gateway.url, retries=3).submit(
+                        dup, wait=True, timeout=120.0)
+                    assert reply["outcome"]["status"] == "ok"
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            herd = [threading.Thread(target=storm) for _ in range(6)]
+            for thread in herd:
+                thread.start()
+            for thread in herd:
+                thread.join(120.0)
+            assert not errors, errors[:1]
+            samples = client.metrics()
+            compiled = (samples["repro_cluster_jobs_completed_total"]
+                        - samples["repro_cluster_jobs_cache_hits_total"])
+            assert compiled == len(jobs) + 1, samples
+            print(f"[smoke] duplicate herd of {len(herd)}: 1 compilation "
+                  f"({samples['repro_cluster_jobs_coalesced_total']:.0f} "
+                  "coalesced)")
+
+            # 3. kill one shard process abruptly
+            fleet.kill(0)
+            assert fleet.alive() == [False, True]
+            print("[smoke] shard 0 terminated")
+
+            # 4. failover absorbs the loss: every wait completes ok
+            for seed in range(6, 12):
+                job = make_job(ghz(3), "ibm_q20_tokyo", "sabre", seed=seed)
+                outcome = client.compile(job, timeout=120.0)
+                assert outcome.ok, outcome.error
+            print("[smoke] 6 post-kill jobs compiled via failover")
+
+            # 5. the health surface notices
+            deadline = time.monotonic() + 30.0
+            while client.health()["shards_alive"] != 1:
+                assert time.monotonic() < deadline, "ejection never surfaced"
+                time.sleep(0.2)
+            health = client.health()
+            assert health["ejections"] >= 1
+            snapshot = gateway.metrics.snapshot()
+            print(f"[smoke] health: {health['shards_alive']}/2 alive, "
+                  f"{snapshot['failovers']} failover(s), "
+                  f"{snapshot['requests']} gateway requests")
+    print(f"[smoke] PASS in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

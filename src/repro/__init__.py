@@ -24,7 +24,10 @@ qubit mapping problem on NISQ devices.  This package provides:
   persistent per-device autotuner (:mod:`repro.portfolio`), and
 * a staged pass-pipeline compiler — declarative JSON stage specs, a shared
   per-device analysis cache and content-addressed pipeline keys
-  (:mod:`repro.compiler`).
+  (:mod:`repro.compiler`), and
+* a sharded cluster gateway — consistent-hash shard routing on job keys,
+  health-checked failover and aggregated metrics over N compile servers
+  (:mod:`repro.cluster`).
 
 Quickstart
 ----------
@@ -70,10 +73,12 @@ from repro.service import (CompilationService, CompileJob, CompileOutcome,
                            PortfolioJob, ResultCache, compile_batch,
                            compile_one, sweep)
 from repro.server import CompileClient, CompileServer
+from repro.cluster import (ClusterGateway, HealthMonitor, LocalShardFleet,
+                           ShardMember, ShardRing)
 from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
                              TuningStore, build_cost_model, portfolio_preset)
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "Circuit",
@@ -98,6 +103,11 @@ __all__ = [
     "sweep",
     "CompileServer",
     "CompileClient",
+    "ClusterGateway",
+    "HealthMonitor",
+    "LocalShardFleet",
+    "ShardMember",
+    "ShardRing",
     "Candidate",
     "PortfolioJob",
     "PortfolioResult",

@@ -22,6 +22,11 @@ Usage (``python -m repro.cli <command> ...``):
 * ``serve [--host H] [--port P] [--server-workers N] [--cache-dir PATH]``
   Run the online compilation server: an HTTP JSON API with a priority queue,
   job coalescing, admission control and Prometheus ``/metrics``.
+* ``cluster serve [--shards N] [--port P] [--mode rendezvous|ring]``
+  Spawn N local compile-server shard processes behind a shard-routing
+  gateway: consistent hashing on the job key, health-checked failover,
+  aggregated ``/metrics``.  ``cluster status --url URL`` prints shard
+  liveness and routing counters.
 * ``submit FILES ... --url URL --device D --router R [--priority N] [--async]``
   Submit circuits to a running server and (by default) wait for the outcomes.
 * ``status --url URL [KEY]``
@@ -424,6 +429,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterGateway, LocalShardFleet
+
+    fleet = LocalShardFleet(shards=args.shards, host=args.host,
+                            workers=args.server_workers,
+                            max_depth=args.max_depth,
+                            job_timeout=args.job_timeout)
+    try:
+        urls = fleet.start()
+    except (OSError, TimeoutError) as exc:
+        print(f"error: could not start the shard fleet: {exc}",
+              file=sys.stderr)
+        fleet.stop()
+        return 2
+    try:
+        gateway = ClusterGateway(urls, host=args.host, port=args.port,
+                                 mode=args.mode,
+                                 health_interval=args.health_interval,
+                                 verbose=args.verbose)
+        gateway.start()
+    except OSError as exc:  # e.g. the gateway port is already taken
+        print(f"error: could not start the gateway: {exc}", file=sys.stderr)
+        fleet.stop()
+        return 2
+    for index, url in enumerate(urls):
+        print(f"# shard{index} on {url}", file=sys.stderr)
+    print(f"# gateway on {gateway.url} ({args.shards} shards, "
+          f"{args.mode} placement, {args.server_workers} workers/shard)",
+          file=sys.stderr)
+    print("# endpoints: POST /jobs, POST /portfolio, GET /jobs/<key>, "
+          "GET /results/<key>, GET /metrics, GET /healthz", file=sys.stderr)
+
+    def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover — not the main thread
+        pass
+    try:
+        gateway.serve_forever()
+    finally:
+        fleet.stop()
+        print("# cluster stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url)
+    try:
+        health = client.health()
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if health.get("role") != "gateway":
+        print(f"note: {args.url} looks like a single server, not a gateway",
+              file=sys.stderr)
+    gateway = health.get("gateway", {})
+    print(f"gateway    : {args.url} ({health.get('status')}, "
+          f"up {health.get('uptime_s', 0)}s, "
+          f"{health.get('mode', '?')} placement)")
+    print(f"shards     : {health.get('shards_alive', 0)}"
+          f"/{len(health.get('shards', []))} alive  "
+          f"ejections={health.get('ejections', 0)} "
+          f"readmissions={health.get('readmissions', 0)}")
+    requests = gateway.get("shard_requests", {})
+    failures = gateway.get("shard_failures", {})
+    for shard in health.get("shards", []):
+        flag = "up" if shard.get("alive") else "DOWN"
+        print(f"  {shard['name']:<10s} {flag:<5s} {shard['url']:<28s} "
+              f"weight={shard.get('weight', 1.0)} "
+              f"routed={requests.get(shard['name'], 0)} "
+              f"failures={failures.get(shard['name'], 0)}")
+    print(f"requests   : {gateway.get('requests', 0)}  "
+          f"failovers={gateway.get('failovers', 0)}  "
+          f"bad={gateway.get('bad_requests', 0)}  "
+          f"unrouted={gateway.get('unrouted', 0)}")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.server.client import CompileClient, ServerError
 
@@ -471,6 +558,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
             print(json.dumps(client.status(args.key), indent=2, sort_keys=True))
             return 0
         health = client.health()
+        if health.get("role") == "gateway":
+            # Pointed at a cluster gateway: its health has shard rows, not
+            # the single-server fields this printer expects.
+            print(f"note: {args.url} is a cluster gateway; showing cluster "
+                  "status", file=sys.stderr)
+            return _cmd_cluster_status(args)
         metrics = health.pop("metrics", {})
         print(f"server     : {args.url} ({health['status']}, "
               f"up {health['uptime_s']}s)")
@@ -712,6 +805,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster", help="run or inspect a sharded compile-server cluster")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="spawn N local shard processes behind a gateway")
+    cluster_serve.add_argument("--shards", type=int, default=2,
+                               help="shard (compile-server) process count")
+    cluster_serve.add_argument("--host", default="127.0.0.1")
+    cluster_serve.add_argument("--port", type=int, default=8700,
+                               help="gateway bind port (0 = ephemeral)")
+    cluster_serve.add_argument("--server-workers", type=int, default=2,
+                               help="scheduler worker threads per shard")
+    cluster_serve.add_argument("--max-depth", type=int, default=256,
+                               help="per-shard queue admission bound")
+    cluster_serve.add_argument("--job-timeout", type=float,
+                               help="per-job wall-clock bound in seconds")
+    cluster_serve.add_argument("--mode", default="rendezvous",
+                               choices=("rendezvous", "ring"),
+                               help="key→shard placement mode")
+    cluster_serve.add_argument("--health-interval", type=float, default=1.0,
+                               help="seconds between shard health probes")
+    cluster_serve.add_argument("--verbose", action="store_true",
+                               help="log every gateway request to stderr")
+    cluster_serve.set_defaults(func=_cmd_cluster_serve)
+    cluster_status = cluster_sub.add_parser(
+        "status", help="gateway health: shard liveness and routing counters")
+    cluster_status.add_argument("--url", default="http://127.0.0.1:8700",
+                                help="gateway base URL")
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     submit = sub.add_parser("submit",
                             help="submit circuits to a running server")

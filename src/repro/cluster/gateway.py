@@ -1,0 +1,509 @@
+"""Shard-routing gateway: one HTTP front door over N compile servers.
+
+The :class:`ClusterGateway` speaks the same JSON API as a single
+:class:`~repro.server.http.CompileServer` — clients (including the existing
+:class:`~repro.server.client.CompileClient`) point at the gateway URL and
+nothing else changes:
+
+* ``POST /jobs`` / ``POST /portfolio`` — the gateway parses the payload just
+  far enough to compute the content-addressed job key, picks the owning shard
+  from the :class:`~repro.cluster.ring.ShardRing` and proxies the request.
+  Because placement is a pure function of the key, every duplicate of a spec
+  lands on the same shard and coalesces there — per-shard coalescing is
+  preserved by construction.
+* ``GET /jobs/<key>`` / ``GET /results/<key>`` — proxied to the owning shard;
+  a 404 falls through to the remaining members in preference order, so a
+  ticket that failed over to a neighbour is still found.
+* ``GET /metrics`` — cluster-level Prometheus exposition: the gateway's own
+  ``repro_cluster_shard_*`` counters plus every shard's counters and
+  histograms summed sample-by-sample (the fixed-bucket design makes shard
+  histograms mergeable by adding cumulative bucket counts; p50/p95 are
+  recomputed from the merged buckets).
+* ``GET /healthz`` — gateway liveness plus per-shard health.
+
+**Failover** is client-transparent: when a shard cannot be reached at all the
+gateway ejects it (feeding the :class:`~repro.cluster.health.HealthMonitor`'s
+hysteresis) and retries the next ring member, so the client sees one normal
+reply.  HTTP-level errors (400/404/429/503) are *passed through* — a shard
+saying "queue full" or "draining" is alive, and the client's existing
+429/503 retry behaviour handles it unchanged.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import ShardMember, ShardRing
+# The gateway enforces the backend's exact edge limits; importing them keeps
+# the two layers in lockstep when either bound changes.
+from repro.server.http import MAX_BODY_BYTES, MAX_WAIT_S
+from repro.server.metrics import iter_samples
+from repro.service.jobs import CompileJob, PortfolioJob
+
+#: Socket headroom added on top of a proxied blocking wait.
+PROXY_MARGIN_S = 30.0
+#: Histograms recomputed (p50/p95) from merged shard buckets.
+_HISTOGRAMS = ("job_wait_seconds", "job_service_seconds")
+
+
+class NoShardAvailableError(RuntimeError):
+    """Every shard in the ring was unreachable for a forwarded request."""
+
+
+def _format_value(value: float) -> str:
+    # Unlike server.metrics._format_value (which renders live Python values
+    # and must keep e.g. bucket bounds as "1.0"), merged samples are *parsed*
+    # floats: counters re-render as integers so the aggregate exposition
+    # matches what a single shard would emit.
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class GatewayMetrics:
+    """The gateway's own counters (shard counters are labelled by name)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.failovers = 0
+        self.bad_requests = 0
+        self.unrouted = 0  # requests that exhausted every shard
+        self._shard_requests: dict[str, int] = {}
+        self._shard_failures: dict[str, int] = {}
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_bad_request(self) -> None:
+        with self._lock:
+            self.bad_requests += 1
+
+    def record_unrouted(self) -> None:
+        with self._lock:
+            self.unrouted += 1
+
+    def record_proxied(self, shard: str) -> None:
+        with self._lock:
+            self._shard_requests[shard] = self._shard_requests.get(shard, 0) + 1
+
+    def record_failover(self, shard: str) -> None:
+        """One failed attempt against ``shard`` that moved to the next member."""
+        with self._lock:
+            self.failovers += 1
+            self._shard_failures[shard] = self._shard_failures.get(shard, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"requests": self.requests,
+                    "failovers": self.failovers,
+                    "bad_requests": self.bad_requests,
+                    "unrouted": self.unrouted,
+                    "shard_requests": dict(self._shard_requests),
+                    "shard_failures": dict(self._shard_failures)}
+
+    def to_prometheus(self, ring: ShardRing,
+                      prefix: str = "repro_cluster") -> list[str]:
+        with self._lock:
+            lines = [
+                f"# TYPE {prefix}_gateway_requests_total counter",
+                f"{prefix}_gateway_requests_total {self.requests}",
+                f"# TYPE {prefix}_failovers_total counter",
+                f"{prefix}_failovers_total {self.failovers}",
+                f"# TYPE {prefix}_gateway_bad_requests_total counter",
+                f"{prefix}_gateway_bad_requests_total {self.bad_requests}",
+                f"# TYPE {prefix}_gateway_unrouted_total counter",
+                f"{prefix}_gateway_unrouted_total {self.unrouted}",
+                f"# TYPE {prefix}_shards_alive gauge",
+                f"{prefix}_shards_alive {len(ring.alive_members())}",
+                f"# TYPE {prefix}_shard_up gauge",
+            ]
+            for member in ring.members:
+                lines.append(f'{prefix}_shard_up{{shard="{member.name}"}} '
+                             f"{1 if member.alive else 0}")
+            lines.append(f"# TYPE {prefix}_shard_requests_total counter")
+            for name in sorted(self._shard_requests):
+                lines.append(f'{prefix}_shard_requests_total{{shard="{name}"}} '
+                             f"{self._shard_requests[name]}")
+            lines.append(f"# TYPE {prefix}_shard_failures_total counter")
+            for name in sorted(self._shard_failures):
+                lines.append(f'{prefix}_shard_failures_total{{shard="{name}"}} '
+                             f"{self._shard_failures[name]}")
+        return lines
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ClusterGateway` (``server.app``)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-cluster-gateway"
+
+    @property
+    def app(self) -> "ClusterGateway":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if self.app.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    def _reply(self, status: int, payload: dict | str, *,
+               content_type: str = "application/json",
+               shard: str | None = None) -> None:
+        body = (payload if isinstance(payload, str)
+                else json.dumps(payload, sort_keys=True)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if shard is not None:
+            self.send_header("X-Repro-Shard", shard)
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_raw(self, status: int, body: bytes, content_type: str,
+                   shard: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Shard", shard)
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "JSON body must be an object")
+            return None
+        return payload
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self.app.metrics.record_request()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, self.app.health())
+        elif path == "/metrics":
+            self._reply(200, self.app.aggregated_metrics(),
+                        content_type="text/plain; version=0.0.4")
+        elif path.startswith("/jobs/") or path.startswith("/results/"):
+            key = path.rsplit("/", 1)[1]
+            self._proxy(key, "GET", path)
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self.app.metrics.record_request()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/jobs":
+            job_cls = CompileJob
+        elif path == "/portfolio":
+            job_cls = PortfolioJob
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        payload = self._read_json()
+        if payload is None:
+            self.app.metrics.record_bad_request()
+            return
+        try:
+            job = job_cls.from_dict(payload.get("job", payload))
+            wait_timeout = min(float(payload.get("timeout", 30.0)), MAX_WAIT_S)
+        except (KeyError, TypeError, ValueError) as exc:
+            # Reject at the edge with the backend's exact contract — a
+            # malformed job never costs a shard round-trip.
+            self.app.metrics.record_bad_request()
+            self._error(400, f"bad job payload: {exc}")
+            return
+        timeout = (wait_timeout + PROXY_MARGIN_S
+                   if payload.get("wait") else None)
+        self._proxy(job.key, "POST", path,
+                    body=json.dumps(payload).encode("utf-8"), timeout=timeout)
+
+    def _proxy(self, key: str, method: str, path: str, *,
+               body: bytes | None = None,
+               timeout: float | None = None) -> None:
+        try:
+            shard, status, reply_body, content_type = self.app.forward(
+                key, method, path, body=body, timeout=timeout)
+        except NoShardAvailableError as exc:
+            self._error(503, str(exc))
+            return
+        self._reply_raw(status, reply_body, content_type, shard.name)
+
+
+class ClusterGateway:
+    """HTTP gateway fronting N :class:`CompileServer` shards.
+
+    Parameters
+    ----------
+    shards:
+        Shard backends: URLs, ``{"name", "url", "weight"}`` dicts or
+        :class:`ShardMember` instances (see :class:`ShardRing`).
+    host, port:
+        Gateway bind address; ``port=0`` picks an ephemeral port.
+    mode:
+        Placement mode, ``"rendezvous"`` (default) or ``"ring"``.
+    health_interval, probe_timeout, fail_threshold, ok_threshold:
+        Health-monitor knobs (see :class:`HealthMonitor`).
+    proxy_timeout:
+        Default socket timeout for proxied requests without a blocking wait.
+    """
+
+    def __init__(self, shards, host: str = "127.0.0.1", port: int = 0, *,
+                 mode: str = "rendezvous", replicas: int = 64,
+                 health_interval: float = 1.0, probe_timeout: float = 2.0,
+                 fail_threshold: int = 2, ok_threshold: int = 1,
+                 proxy_timeout: float = 30.0, verbose: bool = False):
+        self.verbose = verbose
+        self.proxy_timeout = proxy_timeout
+        self.ring = ShardRing(shards, mode=mode, replicas=replicas)
+        self.health_monitor = HealthMonitor(
+            self.ring, interval=health_interval, timeout=probe_timeout,
+            fail_threshold=fail_threshold, ok_threshold=ok_threshold)
+        self.metrics = GatewayMetrics()
+        # Last successfully-scraped samples per shard: an unreachable or
+        # ejected shard keeps contributing its last-known counters so the
+        # merged totals never go backwards (a Prometheus counter-reset dip
+        # would make rate()/increase() misfire exactly during an outage).
+        self._samples_lock = threading.Lock()
+        self._last_samples: dict[str, list[tuple[str, float]]] = {}
+        self._httpd = ThreadingHTTPServer((host, port), _GatewayHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._http_thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def health(self) -> dict:
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        shards = self.health_monitor.snapshot()
+        return {
+            "status": "ok",
+            "role": "gateway",
+            "mode": self.ring.mode,
+            "uptime_s": round(uptime, 3),
+            "shards": shards,
+            "shards_alive": sum(1 for shard in shards if shard["alive"]),
+            "ejections": self.health_monitor.ejections,
+            "readmissions": self.health_monitor.readmissions,
+            "gateway": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------ #
+    def forward(self, key: str, method: str, path: str, *,
+                body: bytes | None = None, timeout: float | None = None
+                ) -> tuple[ShardMember, int, bytes, str]:
+        """Send one request to the owning shard, failing over along the ring.
+
+        Returns ``(member, status, body, content_type)`` of the first shard
+        that *answered* (any HTTP status counts as an answer — only transport
+        failures move on to the next member).  A GET answered 404 falls
+        through to the remaining members — *including ejected ones*, since a
+        briefly-ejected shard may still be reachable and holding the ticket
+        (a wrong 404 is worse than a cheap refused connect); the last 404 is
+        returned when every member says unknown.
+        """
+        order = self.ring.preference(key)
+        alive = [member for member in order if member.alive]
+        dead = [member for member in order if not member.alive]
+        attempts = alive + dead if method == "GET" else (alive or dead)
+        held: tuple[ShardMember, int, bytes, str] | None = None
+        for member in attempts:
+            try:
+                status, reply_body, content_type = self._request(
+                    member, method, path, body=body, timeout=timeout)
+            except (ConnectionError, TimeoutError,
+                    http.client.HTTPException, urllib.error.URLError):
+                if member.alive:
+                    # Last-ditch attempts against already-ejected members
+                    # are expected to fail; don't skew failover counters
+                    # or the health hysteresis with them.
+                    self.metrics.record_failover(member.name)
+                    self.health_monitor.report_failure(member)
+                continue
+            self.metrics.record_proxied(member.name)
+            if method == "GET" and status == 404 and member is not attempts[-1]:
+                held = (member, status, reply_body, content_type)
+                continue
+            return member, status, reply_body, content_type
+        if held is not None:
+            return held
+        raise NoShardAvailableError(
+            f"no shard reachable for key {key[:12]}...; "
+            f"{len(self.ring)} members, 0 answered")
+
+    def _request(self, member: ShardMember, method: str, path: str, *,
+                 body: bytes | None = None, timeout: float | None = None
+                 ) -> tuple[int, bytes, str]:
+        request = urllib.request.Request(member.url + path, method=method)
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                    request, data=body,
+                    timeout=timeout or self.proxy_timeout) as reply:
+                return (reply.status, reply.read(),
+                        reply.headers.get("Content-Type",
+                                          "application/json"))
+        except urllib.error.HTTPError as exc:
+            # The shard answered: pass its error reply through verbatim.
+            return (exc.code, exc.read(),
+                    exc.headers.get("Content-Type", "application/json"))
+
+    # ------------------------------------------------------------------ #
+    def aggregated_metrics(self, prefix: str = "repro_cluster") -> str:
+        """Cluster-wide Prometheus text: gateway counters + merged shards.
+
+        Every shard sample (counters, labelled counters, histogram buckets /
+        sums / counts, gauges) is summed by its full labelled name — valid
+        because every shard uses the same fixed histogram bucket bounds —
+        then re-exported under the ``repro_cluster`` prefix.  Histogram
+        p50/p95 gauges are recomputed from the merged cumulative buckets
+        instead of being (meaninglessly) summed.  A shard that cannot be
+        scraped (dead or ejected) contributes its last-known samples, so
+        cluster counters stay monotone across shard outages.
+        """
+        merged: dict[str, float] = {}
+        polled = 0
+        for member in self.ring.members:
+            samples: list[tuple[str, float]] | None = None
+            try:
+                # Poll with the (short) health-probe timeout: a wedged shard
+                # must not stall the whole cluster's Prometheus scrape.
+                _, text, _ = self._request(
+                    member, "GET", "/metrics",
+                    timeout=self.health_monitor.timeout)
+            except (ConnectionError, TimeoutError,
+                    http.client.HTTPException, urllib.error.URLError):
+                if member.alive:
+                    self.health_monitor.report_failure(member)
+            else:
+                polled += 1
+                samples = [(name, value) for name, value
+                           in iter_samples(text.decode("utf-8",
+                                                       errors="replace"))
+                           if not name.endswith(("_p50", "_p95"))]
+                with self._samples_lock:
+                    self._last_samples[member.name] = samples
+            if samples is None:
+                with self._samples_lock:
+                    samples = self._last_samples.get(member.name, [])
+            for name, value in samples:
+                merged[name] = merged.get(name, 0.0) + value
+        lines = self.metrics.to_prometheus(self.ring, prefix)
+        lines.append(f"# TYPE {prefix}_shards_polled gauge")
+        lines.append(f"{prefix}_shards_polled {polled}")
+        for name in sorted(merged):
+            out = name.replace("repro_server_", f"{prefix}_", 1)
+            lines.append(f"{out} {_format_value(merged[name])}")
+        for histogram in _HISTOGRAMS:
+            for label, fraction in (("p50", 0.50), ("p95", 0.95)):
+                value = _merged_percentile(merged, histogram, fraction)
+                metric = f"{prefix}_{histogram}_{label}"
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ClusterGateway":
+        if self._http_thread is not None:
+            raise RuntimeError("gateway is already running")
+        self.health_monitor.start()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name="repro-cluster-gateway")
+        self._http_thread.start()
+        self._started_at = time.monotonic()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.health_monitor.stop()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout)
+            self._http_thread = None
+
+    def serve_forever(self) -> None:
+        """Foreground mode for the CLI: block until interrupted."""
+        if self._http_thread is None:
+            self.start()
+        try:
+            while True:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ClusterGateway":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def _merged_percentile(merged: dict[str, float], histogram: str,
+                       fraction: float) -> float:
+    """Percentile upper bound from merged cumulative bucket samples."""
+    bucket_prefix = f"repro_server_{histogram}_bucket{{le=\""
+    buckets: list[tuple[float, float]] = []
+    for name, value in merged.items():
+        if name.startswith(bucket_prefix):
+            bound = name[len(bucket_prefix):].rstrip("\"}")
+            buckets.append((float("inf") if bound == "+Inf" else float(bound),
+                            value))
+    buckets.sort()
+    count = merged.get(f"repro_server_{histogram}_count", 0.0)
+    if count <= 0 or not buckets:
+        return 0.0
+    target = fraction * count
+    last_finite = 0.0
+    for bound, cumulative in buckets:
+        if bound != float("inf"):
+            last_finite = bound
+            if cumulative >= target:
+                return bound
+    return last_finite

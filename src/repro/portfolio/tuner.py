@@ -106,18 +106,27 @@ class TuningStore:
             self._buckets = {}  # corrupt/missing file: start cold
 
     def save(self) -> None:
-        """Write the store atomically (no-op for memory-only stores)."""
+        """Write the store atomically (no-op for memory-only stores).
+
+        The whole dump-and-replace runs under the lock with a pid+thread
+        suffixed temp file (the :meth:`~repro.service.cache.ResultCache.put`
+        recipe): concurrent savers never share a temp path — two server
+        threads saving at once used to interleave writes into one
+        pid-suffixed file and could publish a corrupt store — and the
+        published file is always the newest serialised snapshot.
+        """
         if self.path is None:
             return
         with self._lock:
             payload = {"schema_version": SCHEMA_VERSION,
                        "buckets": self._buckets}
             text = json.dumps(payload, indent=2, sort_keys=True)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-        os.replace(tmp, self.path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            os.replace(tmp, self.path)
 
     # ------------------------------------------------------------------ #
     def record(self, device_name: str, bucket: str, winner_key: str | None,

@@ -230,13 +230,6 @@ class CompileClient:
 
     def metrics(self) -> dict[str, float]:
         """Parsed sample lines from ``/metrics`` (no labels ⇒ plain name)."""
-        samples: dict[str, float] = {}
-        for line in self.metrics_text().splitlines():
-            if not line or line.startswith("#"):
-                continue
-            name, _, value = line.rpartition(" ")
-            try:
-                samples[name] = float(value)
-            except ValueError:
-                continue
-        return samples
+        from repro.server.metrics import iter_samples
+
+        return dict(iter_samples(self.metrics_text()))

@@ -89,6 +89,24 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def iter_samples(text: str):
+    """Yield ``(name_with_labels, value)`` from Prometheus text exposition.
+
+    The shared parser behind :meth:`~repro.server.client.CompileClient.metrics`
+    and the cluster gateway's shard-sample merging: comment/HELP/TYPE lines
+    and unparsable values are skipped, labels stay part of the name.
+    """
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            yield name, float(value)
+        except ValueError:
+            continue
+
+
 class ServerMetrics:
     """All counters/gauges/histograms for one compile server instance.
 

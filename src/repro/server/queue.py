@@ -85,15 +85,35 @@ class JobTicket:
             return None
         return self.finished_at - self.started_at
 
+    def _effective_router(self) -> str | None:
+        """The router that will actually run — honest for pipeline jobs.
+
+        Pipeline jobs carry a vestigial back-filled ``router`` field (the
+        payload default) that execution ignores; reporting it made
+        ``GET /jobs/<key>`` lie about what will run.  The truth lives in the
+        pipeline's ``route`` stage spec; routeless pipelines have no router.
+        """
+        pipeline = getattr(self.job, "pipeline", None)
+        if pipeline:
+            for stage in pipeline:
+                if stage.get("name") == "route":
+                    router = stage.get("params", {}).get("router")
+                    if isinstance(router, dict):
+                        return router.get("name")
+                    return router
+            return None
+        return self.job.router["name"]
+
     def snapshot(self) -> dict:
         """JSON-friendly status record (the ``GET /jobs/<key>`` body)."""
         record = {
             "key": self.key,
             "status": self.state,
             "priority": self.priority,
+            "kind": getattr(self.job, "kind", "compile"),
             "circuit": self.job.circuit_name,
             "device": self.job.device["name"],
-            "router": self.job.router["name"],
+            "router": self._effective_router(),
             "coalesced": self.coalesced,
         }
         if self.wait_seconds is not None:

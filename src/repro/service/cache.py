@@ -170,7 +170,16 @@ class ResultCache:
     def disk_bytes(self) -> int:
         if self.directory is None:
             return 0
-        return sum(p.stat().st_size for p in self.directory.glob("??/*.json"))
+        total = 0
+        for path in self.directory.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                # Raced with concurrent eviction/clear(): the entry vanished
+                # between glob and stat.  Skip it — status/metrics surfaces
+                # must never crash on a healthy concurrent cache.
+                continue
+        return total
 
     def clear(self) -> int:
         """Drop every entry from every tier; returns the number removed."""

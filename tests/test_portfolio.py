@@ -200,6 +200,45 @@ class TestTuningStore:
         store.record("dev", "b", self.cands[0].key, self.cands)  # heals
         assert json.loads(path.read_text())["schema_version"] == 1
 
+    def test_concurrent_saves_never_publish_a_corrupt_store(self, tmp_path):
+        # Regression: save() used to build a pid-only temp file *outside*
+        # the lock, so two server threads saving at once interleaved writes
+        # into the same temp path and could os.replace() garbage into place.
+        import threading
+
+        path = tmp_path / "tuning.json"
+        store = TuningStore(path, min_observations=10_000)
+        rounds, threads = 25, 8
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                barrier.wait(10.0)
+                for index in range(rounds):
+                    store.record(f"dev{worker}", "b",
+                                 self.cands[index % 3].key, self.cands,
+                                 save=True)
+                    # Every published snapshot must parse; a torn write here
+                    # is exactly the bug this guards against.
+                    data = json.loads(path.read_text())
+                    assert data["schema_version"] == 1
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        pool = [threading.Thread(target=hammer, args=(worker,))
+                for worker in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(60.0)
+        assert not errors, errors[:1]
+        reloaded = TuningStore(path)
+        for worker in range(threads):
+            assert reloaded.observations(f"dev{worker}", "b") == rounds
+        strays = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+        assert strays == []
+
 
 # --------------------------------------------------------------------------- #
 # Runner

@@ -140,13 +140,100 @@ class TestJobQueue:
         record = ticket.snapshot()
         assert record["status"] == "queued"
         assert record["priority"] == 7
+        assert record["kind"] == "compile"
         assert record["circuit"] == "ghz_3"
         assert record["device"] == "ibm_q20_tokyo"
+        assert record["router"] == "codar"
         assert "wait_s" not in record  # not started yet
+
+    def test_snapshot_reports_the_pipeline_route_stage_router(self):
+        # A pipeline job's back-filled `router` field is vestigial — the
+        # route stage decides; the snapshot must not lie about what runs.
+        queue = JobQueue()
+        from repro.service.jobs import CompileJob
+
+        job = CompileJob.from_dict({
+            "qasm": _job(3).qasm, "device": "ibm_q20_tokyo",
+            "pipeline": ["parse", "layout",
+                         {"name": "route", "params": {"router": "sabre"}}]})
+        assert job.router["name"] == "codar"  # the back-filled default
+        ticket, _ = queue.submit(job)
+        assert ticket.snapshot()["router"] == "sabre"
+
+    def test_snapshot_of_a_routeless_pipeline_has_no_router(self):
+        queue = JobQueue()
+        from repro.service.jobs import CompileJob
+
+        job = CompileJob.from_dict({
+            "qasm": _job(3).qasm, "device": "ibm_q20_tokyo",
+            "pipeline": ["parse", "optimize", "schedule"]})
+        ticket, _ = queue.submit(job)
+        assert ticket.snapshot()["router"] is None
+
+    def test_snapshot_marks_portfolio_jobs(self):
+        from repro.service.jobs import PortfolioJob
+
+        queue = JobQueue()
+        job = PortfolioJob(qasm=_job(3).qasm, device="ibm_q20_tokyo",
+                           candidates=["codar", "sabre"])
+        ticket, _ = queue.submit(job)
+        record = ticket.snapshot()
+        assert record["kind"] == "portfolio"
+        assert record["router"] == "portfolio"
 
     def test_invalid_max_depth(self):
         with pytest.raises(ValueError):
             JobQueue(max_depth=0)
+
+    # ------------------------------------------------------------------ #
+    # Priority-escalation edge cases: stale heap entries must never
+    # corrupt depth accounting or double-fail tickets.
+    # ------------------------------------------------------------------ #
+    def test_stale_escalation_entry_never_underflows_depth(self):
+        queue = JobQueue()
+        ticket, _ = queue.submit(_job(3), priority=5)
+        queue.submit(_job(3), priority=1)  # escalates; leaves a stale entry
+        assert queue.depth == 1
+        assert queue.pop(0) is ticket
+        assert queue.depth == 0
+        # The stale duplicate is skipped without touching the depth counter.
+        assert queue.pop(timeout=0.01) is None
+        assert queue.depth == 0
+        queue.finish(ticket, _ok_outcome(ticket))
+        assert queue.depth == 0 and queue.in_flight == 0
+
+    def test_flush_after_escalation_fails_each_ticket_exactly_once(self):
+        queue = JobQueue()
+        first, _ = queue.submit(_job(3), priority=5)
+        queue.submit(_job(3), priority=1)   # stale duplicate for `first`
+        queue.submit(_job(3), priority=3)   # less urgent: no escalation/dup
+        second, _ = queue.submit(_job(4))
+        waits: list = []
+        waiters = [threading.Thread(target=lambda t=t: waits.append(t.wait(5.0)))
+                   for t in (first, second)]
+        for waiter in waiters:
+            waiter.start()
+        queue.close(drain=False)
+        assert queue.flush("restarting") == 2  # tickets, not heap entries
+        for waiter in waiters:
+            waiter.join(5.0)
+        assert len(waits) == 2
+        assert all(outcome is not None and not outcome.ok
+                   for outcome in waits)
+        assert first.outcome.error_type == "QueueClosedError"
+        assert queue.depth == 0 and queue.in_flight == 0
+        assert queue.flush("again") == 0  # idempotent: nothing left behind
+
+    def test_flush_skips_stale_entries_of_running_tickets(self):
+        queue = JobQueue()
+        ticket, _ = queue.submit(_job(3), priority=5)
+        queue.submit(_job(3), priority=1)
+        assert queue.pop(0) is ticket  # running; its stale entry remains
+        queue.close(drain=False)
+        assert queue.flush() == 0      # the running ticket is untouched
+        assert ticket.state == "running" and not ticket.done
+        queue.finish(ticket, _ok_outcome(ticket))
+        assert ticket.outcome.ok
 
 
 # --------------------------------------------------------------------------- #
@@ -355,6 +442,29 @@ class TestHttpApi:
         record = client.status(job.key)
         assert record["status"] == "done"
         assert record["wait_s"] >= 0 and record["service_s"] > 0
+
+    def test_job_status_reports_the_pipeline_router_over_http(self, client):
+        # `GET /jobs/<key>` must name the router the pipeline will actually
+        # run, not the vestigial back-filled payload default ("codar").
+        reply = client.submit(
+            {"qasm": _job(3).qasm, "device": "ibm_q20_tokyo",
+             "pipeline": ["parse", "layout",
+                          {"name": "route", "params": {"router": "sabre"}}],
+             "wait": True, "timeout": 60.0})
+        record = client.status(reply["key"])
+        assert record["router"] == "sabre"
+        assert record["kind"] == "compile"
+
+    def test_job_status_reports_portfolio_kind_over_http(self, client):
+        from repro.service.jobs import PortfolioJob
+        from repro.workloads.generators import ghz as _ghz
+
+        job = PortfolioJob.from_circuit(_ghz(3), "ibm_q20_tokyo",
+                                        candidates=["codar", "sabre"])
+        client.portfolio(job, timeout=120.0)
+        record = client.status(job.key)
+        assert record["kind"] == "portfolio"
+        assert record["router"] == "portfolio"
 
     def test_unknown_job_is_404(self, client):
         with pytest.raises(ServerError) as excinfo:

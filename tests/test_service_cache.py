@@ -7,6 +7,7 @@ import os
 import subprocess
 import sys
 import threading
+import time
 
 import pytest
 
@@ -313,6 +314,52 @@ class TestConcurrentWriters:
         assert not errors
         assert cache.stats.corrupt == 0
         assert ResultCache(tmp_path, memory=False).get(key) == _outcome(key)
+
+    def test_disk_bytes_skips_entries_that_vanish_mid_scan(self, tmp_path):
+        # Regression: a racing eviction/clear() unlinking a file between
+        # glob and stat used to raise FileNotFoundError out of every
+        # status/metrics surface.  A broken symlink reproduces the race
+        # deterministically: glob lists it, stat() fails.
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, _outcome(key))
+        ghost = tmp_path / "cd" / f"{'cd' * 32}.json"
+        ghost.parent.mkdir(parents=True, exist_ok=True)
+        ghost.symlink_to(tmp_path / "nowhere.json")
+        assert cache.disk_bytes() == (tmp_path / key[:2] /
+                                      f"{key}.json").stat().st_size
+
+    def test_disk_bytes_survives_concurrent_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        errors = []
+        stop = threading.Event()
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    for worker in range(6):
+                        key = f"{worker}e".ljust(64, "e")
+                        cache.put(key, _outcome(key))
+                    cache.clear()
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        def measure():
+            try:
+                while not stop.is_set():
+                    assert cache.disk_bytes() >= 0
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn),
+                   threading.Thread(target=measure)]
+        for thread in threads:
+            thread.start()
+        time.sleep(1.0)
+        stop.set()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors, errors[:1]
 
     def test_no_stray_temp_files_left_behind(self, tmp_path):
         cache = ResultCache(tmp_path)
