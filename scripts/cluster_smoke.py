@@ -9,12 +9,20 @@ failure rehearsal the cluster layer exists for:
 3. ``SIGTERM`` an entire shard process mid-workload,
 4. keep submitting — every key the dead shard owned fails over to the
    survivor and every client wait completes,
-5. confirm the gateway health surface reports the ejection.
+5. fetch the stitched distributed trace of a failed-over request and
+   verify the failover hop shows up as a ``gateway.failover`` span next to
+   the surviving shard's ``server.request``,
+6. confirm the gateway health surface reports the ejection.
+
+``--trace-out PATH`` writes that stitched trace as JSON so CI can upload
+it as a build artifact alongside the benchmark files.
 
 Exit code 0 on success; any assertion failure is a non-zero exit for CI.
 Run from the repo root: ``PYTHONPATH=src python scripts/cluster_smoke.py``.
 """
 
+import argparse
+import json
 import sys
 import threading
 import time
@@ -25,14 +33,33 @@ from repro.service import make_job
 from repro.workloads.generators import ghz
 
 
-def main() -> int:
+def _failover_trace(client: CompileClient, trace_ids: list) -> dict | None:
+    """The first stitched trace among ``trace_ids`` with a failover hop."""
+    for trace_id in trace_ids:
+        stitched = client.trace(trace_id)
+        names = {span["name"] for span in stitched.get("spans", ())}
+        if "gateway.failover" in names:
+            return stitched
+    return None
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the stitched failover trace as JSON")
+    args = parser.parse_args(argv)
+
     jobs = [make_job(ghz(3 + (seed % 3)), "ibm_q20_tokyo", "codar",
                      seed=seed) for seed in range(6)]
     started = time.perf_counter()
     with LocalShardFleet(shards=2, workers=2) as fleet:
         print(f"[smoke] shards up: {fleet.urls}")
+        # fail_threshold is raised so the killed shard is not ejected on the
+        # first refused connect: the post-kill submissions still *attempt* it
+        # and fail over live, which is exactly the hop the stitched-trace
+        # assertion below wants to see as a ``gateway.failover`` span.
         with ClusterGateway(fleet.urls, health_interval=0.5,
-                            probe_timeout=1.0) as gateway:
+                            probe_timeout=1.0, fail_threshold=6) as gateway:
             client = CompileClient(gateway.url, retries=3)
 
             # 1. distinct jobs spread over both shards
@@ -73,13 +100,44 @@ def main() -> int:
             print("[smoke] shard 0 terminated")
 
             # 4. failover absorbs the loss: every wait completes ok
+            post_kill_traces = []
             for seed in range(6, 12):
                 job = make_job(ghz(3), "ibm_q20_tokyo", "sabre", seed=seed)
                 outcome = client.compile(job, timeout=120.0)
                 assert outcome.ok, outcome.error
+                post_kill_traces.append(client.last_trace_id)
             print("[smoke] 6 post-kill jobs compiled via failover")
 
-            # 5. the health surface notices
+            # 5. the failover hop is visible in a stitched trace: the
+            # gateway fans GET /traces/<id> out to the survivors and merges
+            # their spans with its own, so one trace shows the dead-shard
+            # attempt (gateway.failover) next to the surviving shard's
+            # server.request.  Some of the six keys route straight to the
+            # survivor; keep submitting until one takes the failover path.
+            stitched = _failover_trace(client, post_kill_traces)
+            extra_seed = 12
+            while stitched is None and extra_seed < 36:
+                job = make_job(ghz(3), "ibm_q20_tokyo", "sabre",
+                               seed=extra_seed)
+                outcome = client.compile(job, timeout=120.0)
+                assert outcome.ok, outcome.error
+                stitched = _failover_trace(client, [client.last_trace_id])
+                extra_seed += 1
+            assert stitched is not None, "no failed-over request traced"
+            names = [span["name"] for span in stitched["spans"]]
+            assert "gateway.failover" in names, names
+            assert "server.request" in names, names
+            assert "job.execute" in names, names
+            print(f"[smoke] stitched trace {stitched['trace_id'][:12]}... "
+                  f"({len(names)} spans over "
+                  f"{stitched['shards_polled']} shard(s)) shows the "
+                  "failover hop")
+            if args.trace_out:
+                with open(args.trace_out, "w", encoding="utf-8") as sink:
+                    json.dump(stitched, sink, indent=2, sort_keys=True)
+                print(f"[smoke] stitched trace written to {args.trace_out}")
+
+            # 6. the health surface notices
             deadline = time.monotonic() + 30.0
             while client.health()["shards_alive"] != 1:
                 assert time.monotonic() < deadline, "ejection never surfaced"

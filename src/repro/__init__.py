@@ -27,7 +27,11 @@ qubit mapping problem on NISQ devices.  This package provides:
   (:mod:`repro.compiler`), and
 * a sharded cluster gateway — consistent-hash shard routing on job keys,
   health-checked failover and aggregated metrics over N compile servers
-  (:mod:`repro.cluster`).
+  (:mod:`repro.cluster`), and
+* an observability layer — end-to-end request tracing (``X-Repro-Trace``)
+  across client → gateway → shard → queue → pipeline with stitched
+  ``GET /traces``, structured JSON logging and an opt-in sampling profiler
+  for slow jobs (:mod:`repro.obs`).
 
 Quickstart
 ----------
@@ -77,8 +81,10 @@ from repro.cluster import (ClusterGateway, HealthMonitor, LocalShardFleet,
                            ShardMember, ShardRing)
 from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
                              TuningStore, build_cost_model, portfolio_preset)
+from repro.obs import (SamplingProfiler, SpanStore, TraceContext, get_logger,
+                       render_trace)
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "Circuit",
@@ -121,5 +127,10 @@ __all__ = [
     "analyze",
     "list_pipelines",
     "pipeline_preset",
+    "TraceContext",
+    "SpanStore",
+    "SamplingProfiler",
+    "get_logger",
+    "render_trace",
     "__version__",
 ]

@@ -31,6 +31,10 @@ Usage (``python -m repro.cli <command> ...``):
   Submit circuits to a running server and (by default) wait for the outcomes.
 * ``status --url URL [KEY]``
   Server health + metrics snapshot, or one job's status when KEY is given.
+* ``trace IDENT --url URL``
+  Fetch one request trace (by trace id, job key, or a >= 8-char key prefix)
+  from a server or gateway and print the span tree with the critical path
+  starred; against a gateway the trace is stitched across every shard.
 * ``devices``
   List the registered device models and their coupling statistics.
 * ``routers``
@@ -396,8 +400,11 @@ def _cmd_routers(_args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logging import configure
     from repro.server.http import CompileServer
 
+    if args.verbose:
+        configure(level="debug")
     # Cap the memory tier even with a disk cache: the server must stay flat.
     cache = (ResultCache(args.cache_dir, max_entries=1024)
              if args.cache_dir else None)
@@ -405,7 +412,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            workers=args.server_workers, cache=cache,
                            max_depth=args.max_depth,
                            job_timeout=args.job_timeout,
-                           verbose=args.verbose)
+                           verbose=args.verbose,
+                           slow_request_s=args.slow_request_s,
+                           profile_slow_s=args.profile_slow_s,
+                           trace_max_spans=args.trace_spans)
     server.start()
     print(f"# serving on {server.url} "
           f"({args.server_workers} workers, "
@@ -413,7 +423,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"cache={'disk:' + args.cache_dir if args.cache_dir else 'memory'})",
           file=sys.stderr)
     print("# endpoints: POST /jobs, GET /jobs/<key>, GET /results/<key>, "
-          "GET /metrics, GET /healthz", file=sys.stderr)
+          "GET /metrics, GET /healthz, GET /traces[/<id>]", file=sys.stderr)
 
     def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
         raise KeyboardInterrupt
@@ -431,7 +441,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_cluster_serve(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterGateway, LocalShardFleet
+    from repro.obs.logging import configure
 
+    if args.verbose:
+        configure(level="debug")
     fleet = LocalShardFleet(shards=args.shards, host=args.host,
                             workers=args.server_workers,
                             max_depth=args.max_depth,
@@ -459,7 +472,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
           f"{args.mode} placement, {args.server_workers} workers/shard)",
           file=sys.stderr)
     print("# endpoints: POST /jobs, POST /portfolio, GET /jobs/<key>, "
-          "GET /results/<key>, GET /metrics, GET /healthz", file=sys.stderr)
+          "GET /results/<key>, GET /metrics, GET /healthz, "
+          "GET /traces[/<id>]", file=sys.stderr)
 
     def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
         raise KeyboardInterrupt
@@ -586,6 +600,31 @@ def _cmd_status(args: argparse.Namespace) -> int:
     except (ServerError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.render import render_trace
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url)
+    try:
+        payload = client.trace(args.ident)
+    except ServerError as exc:
+        if exc.status == 404:
+            print(f"error: no trace found for {args.ident!r} (traces live "
+                  "in a bounded ring; old ones are evicted)", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spans = payload.get("spans") or []
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_trace(payload.get("trace_id", args.ident), spans))
+    return 0
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
@@ -803,7 +842,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--job-timeout", type=float,
                        help="per-job wall-clock bound in seconds")
     serve.add_argument("--verbose", action="store_true",
-                       help="log every HTTP request to stderr")
+                       help="debug-level structured logs (JSON lines) on "
+                            "stderr, incl. every HTTP request")
+    serve.add_argument("--slow-request-s", type=float, default=5.0,
+                       help="log a slow_request warning past this many "
+                            "seconds")
+    serve.add_argument("--profile-slow-s", type=float,
+                       help="sample executing jobs; attach stacks to traces "
+                            "slower than this (off by default)")
+    serve.add_argument("--trace-spans", type=int,
+                       help="span ring-buffer capacity (default 4096)")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -861,6 +909,17 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--url", default="http://127.0.0.1:8642",
                         help="server base URL")
     status.set_defaults(func=_cmd_status)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="fetch one request trace and print its span tree")
+    trace_cmd.add_argument("ident", help="trace id, job key, or a >= 8-char "
+                                         "job-key prefix")
+    trace_cmd.add_argument("--url", default="http://127.0.0.1:8642",
+                           help="server or gateway base URL (a gateway "
+                                "stitches the trace across shards)")
+    trace_cmd.add_argument("--json", action="store_true",
+                           help="print the raw span JSON instead of the tree")
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     speedup = sub.add_parser("speedup", help="run the Fig. 8 speedup sweep")
     speedup.add_argument("--full", action="store_true")

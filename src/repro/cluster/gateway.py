@@ -38,9 +38,14 @@ import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
 
 from repro.cluster.health import HealthMonitor
 from repro.cluster.ring import ShardMember, ShardRing
+from repro.obs.logging import get_logger
+from repro.obs.store import get_store
+from repro.obs.trace import (TRACE_HEADER, TraceContext, activate,
+                             current_trace, record_span, span)
 # The gateway enforces the backend's exact edge limits; importing them keeps
 # the two layers in lockstep when either bound changes.
 from repro.server.http import MAX_BODY_BYTES, MAX_WAIT_S
@@ -51,6 +56,12 @@ from repro.service.jobs import CompileJob, PortfolioJob
 PROXY_MARGIN_S = 30.0
 #: Histograms recomputed (p50/p95) from merged shard buckets.
 _HISTOGRAMS = ("job_wait_seconds", "job_service_seconds")
+
+_LOG = get_logger("cluster.gateway")
+
+#: Transport-level failures that trigger failover to the next ring member.
+_TRANSPORT_ERRORS = (ConnectionError, TimeoutError,
+                     http.client.HTTPException, urllib.error.URLError)
 
 
 class NoShardAvailableError(RuntimeError):
@@ -153,16 +164,22 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         return self.server.app  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
-        if self.app.verbose:
-            super().log_message(format, *args)
+        _LOG.debug("http_access", client=self.address_string(),
+                   message=format % args)
 
     # ------------------------------------------------------------------ #
     def _reply(self, status: int, payload: dict | str, *,
                content_type: str = "application/json",
                shard: str | None = None) -> None:
+        trace = getattr(self, "_trace", None)
+        entry = getattr(self, "_span", None)
+        if entry is not None:
+            entry.attributes["status"] = status
         body = (payload if isinstance(payload, str)
                 else json.dumps(payload, sort_keys=True)).encode("utf-8")
         self.send_response(status)
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace.to_header())
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         if shard is not None:
@@ -176,7 +193,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _reply_raw(self, status: int, body: bytes, content_type: str,
                    shard: str) -> None:
+        trace = getattr(self, "_trace", None)
+        entry = getattr(self, "_span", None)
+        if entry is not None:
+            entry.attributes["status"] = status
         self.send_response(status)
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace.to_header())
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Repro-Shard", shard)
@@ -209,6 +232,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        # Request-scoped trace state must not leak across keep-alive
+        # requests on this connection (handlers live per connection).
+        self._trace = None
+        self._span = None
         self.app.metrics.record_request()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
@@ -216,15 +243,47 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         elif path == "/metrics":
             self._reply(200, self.app.aggregated_metrics(),
                         content_type="text/plain; version=0.0.4")
+        elif path == "/traces":
+            self._reply(200, self.app.trace_summaries(
+                self._query_int("limit", 50)))
+        elif path.startswith("/traces/"):
+            stitched = self.app.fetch_trace(path[len("/traces/"):])
+            if stitched is None:
+                self._error(404, f"no trace for {path[len('/traces/'):]!r}")
+            else:
+                self._reply(200, stitched)
         elif path.startswith("/jobs/") or path.startswith("/results/"):
             key = path.rsplit("/", 1)[1]
             self._proxy(key, "GET", path)
         else:
             self._error(404, f"unknown path {path!r}")
 
+    def _query_int(self, name: str, default: int) -> int:
+        for item in urlsplit(self.path).query.split("&"):
+            key, sep, value = item.partition("=")
+            if sep and key == name:
+                try:
+                    return int(value)
+                except ValueError:
+                    return default
+        return default
+
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         self.app.metrics.record_request()
         path = self.path.split("?", 1)[0].rstrip("/")
+        # Continue or mint the trace at the cluster edge; the context is
+        # re-propagated to the owning shard on every proxy attempt, so the
+        # shard's spans join this same trace.
+        context = (TraceContext.from_header(self.headers.get(TRACE_HEADER))
+                   or TraceContext.new())
+        self._trace = context
+        self._span = None
+        with activate(context):
+            with span("gateway.request", method="POST", path=path) as entry:
+                self._span = entry
+                self._handle_post(path)
+
+    def _handle_post(self, path: str) -> None:
         if path == "/jobs":
             job_cls = CompileJob
         elif path == "/portfolio":
@@ -245,6 +304,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self.app.metrics.record_bad_request()
             self._error(400, f"bad job payload: {exc}")
             return
+        if self._span is not None:
+            self._span.attributes["job_key"] = job.key
         timeout = (wait_timeout + PROXY_MARGIN_S
                    if payload.get("wait") else None)
         self._proxy(job.key, "POST", path,
@@ -298,7 +359,13 @@ class ClusterGateway:
         # would make rate()/increase() misfire exactly during an outage).
         self._samples_lock = threading.Lock()
         self._last_samples: dict[str, list[tuple[str, float]]] = {}
-        self._httpd = ThreadingHTTPServer((host, port), _GatewayHandler)
+        # Same backlog bump as CompileServer: the stdlib default
+        # request_queue_size=5 resets connections under a client-herd burst.
+        self._httpd = ThreadingHTTPServer((host, port), _GatewayHandler,
+                                          bind_and_activate=False)
+        self._httpd.request_queue_size = 128
+        self._httpd.server_bind()
+        self._httpd.server_activate()
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
         self._http_thread: threading.Thread | None = None
@@ -329,7 +396,107 @@ class ClusterGateway:
             "ejections": self.health_monitor.ejections,
             "readmissions": self.health_monitor.readmissions,
             "gateway": self.metrics.snapshot(),
+            "traces": get_store().stats(),
         }
+
+    # ------------------------------------------------------------------ #
+    def fetch_trace(self, ident: str) -> dict | None:
+        """Stitch one distributed trace from the gateway and every shard.
+
+        ``ident`` is a trace id, a job key, or a >= 8-char job-key prefix.
+        The gateway's own spans come from the local store; every ring member
+        (ejected ones included — they may still hold the spans) is asked for
+        its part and the union is deduplicated by span id, which also makes
+        in-process fleets (shards sharing this process's span ring) safe.
+        Returns ``None`` when nobody knows the trace.
+        """
+        store = get_store()
+        trace_id: str | None = None
+        spans: dict[str, dict] = {}
+
+        def absorb(rows) -> None:
+            nonlocal trace_id
+            for row in rows:
+                if trace_id is None:
+                    trace_id = row.get("trace_id")
+                if row.get("trace_id") == trace_id and row.get("span_id"):
+                    spans[row["span_id"]] = row
+
+        local = store.trace(ident)
+        if not local:
+            resolved = store.find_trace(ident)
+            if resolved is not None:
+                local = store.trace(resolved)
+        absorb(local)
+        polled = 0
+        for member in self.ring.members:
+            try:
+                status, body, _ = self._request(
+                    member, "GET", f"/traces/{trace_id or ident}",
+                    timeout=self.health_monitor.timeout)
+            except _TRANSPORT_ERRORS:
+                continue
+            polled += 1
+            if status != 200:
+                continue
+            try:
+                payload = json.loads(body.decode("utf-8", errors="replace"))
+            except ValueError:
+                continue
+            absorb(payload.get("spans") or [])
+        if not spans:
+            return None
+        rows = sorted(spans.values(),
+                      key=lambda row: (row["start"], row["span_id"]))
+        return {"trace_id": trace_id, "spans": rows,
+                "shards_polled": polled}
+
+    def trace_summaries(self, limit: int = 50) -> dict:
+        """Merged ``GET /traces`` digests across the gateway and all shards.
+
+        Distributed parts of one trace (gateway spans here, execution spans
+        on a shard) merge into a single row: earliest start wins the root,
+        span counts add up, and the duration covers the union of intervals.
+        """
+        rows: dict[str, dict] = {}
+
+        def absorb(items) -> None:
+            for item in items:
+                held = rows.get(item.get("trace_id"))
+                if held is None:
+                    rows[item["trace_id"]] = dict(item)
+                    continue
+                end = max(held["start"] + held["duration_s"],
+                          item["start"] + item["duration_s"])
+                if item["start"] < held["start"]:
+                    held["start"] = item["start"]
+                    held["root"] = item["root"]
+                held["duration_s"] = round(end - held["start"], 6)
+                held["spans"] += item["spans"]
+                held["job_keys"] = sorted(set(held.get("job_keys") or ())
+                                          | set(item.get("job_keys") or ()))
+
+        absorb(get_store().summaries(limit))
+        polled = 0
+        for member in self.ring.members:
+            try:
+                status, body, _ = self._request(
+                    member, "GET", f"/traces?limit={limit}",
+                    timeout=self.health_monitor.timeout)
+            except _TRANSPORT_ERRORS:
+                continue
+            if status != 200:
+                continue
+            try:
+                payload = json.loads(body.decode("utf-8", errors="replace"))
+            except ValueError:
+                continue
+            absorb(payload.get("traces") or [])
+            polled += 1
+        ordered = sorted(rows.values(), key=lambda row: row["start"],
+                         reverse=True)
+        return {"traces": ordered[:max(0, limit)],
+                "store": get_store().stats(), "shards_polled": polled}
 
     # ------------------------------------------------------------------ #
     def forward(self, key: str, method: str, path: str, *,
@@ -351,15 +518,30 @@ class ClusterGateway:
         attempts = alive + dead if method == "GET" else (alive or dead)
         held: tuple[ShardMember, int, bytes, str] | None = None
         for member in attempts:
+            attempt_start = time.time()
             try:
-                status, reply_body, content_type = self._request(
-                    member, method, path, body=body, timeout=timeout)
+                # The proxy span wraps the shard round-trip, so the shard's
+                # own ``server.request`` span (propagated via the header
+                # inside ``_request``) nests under it in the stitched trace.
+                with span("gateway.proxy", shard=member.name) as entry:
+                    status, reply_body, content_type = self._request(
+                        member, method, path, body=body, timeout=timeout)
+                    if entry is not None:
+                        entry.attributes["status"] = status
             except (ConnectionError, TimeoutError,
-                    http.client.HTTPException, urllib.error.URLError):
+                    http.client.HTTPException, urllib.error.URLError) as exc:
                 if member.alive:
                     # Last-ditch attempts against already-ejected members
                     # are expected to fail; don't skew failover counters
                     # or the health hysteresis with them.
+                    context = current_trace()
+                    if context is not None:
+                        record_span("gateway.failover", trace=context,
+                                    start=attempt_start, shard=member.name,
+                                    error=type(exc).__name__)
+                    _LOG.warning("shard_failover", shard=member.name,
+                                 error=type(exc).__name__,
+                                 key=key[:12])
                     self.metrics.record_failover(member.name)
                     self.health_monitor.report_failure(member)
                 continue
@@ -378,6 +560,9 @@ class ClusterGateway:
                  body: bytes | None = None, timeout: float | None = None
                  ) -> tuple[int, bytes, str]:
         request = urllib.request.Request(member.url + path, method=method)
+        context = current_trace()
+        if context is not None:
+            request.add_header(TRACE_HEADER, context.to_header())
         if body is not None:
             request.add_header("Content-Type", "application/json")
         try:
@@ -499,6 +684,12 @@ def _merged_percentile(merged: dict[str, float], histogram: str,
     count = merged.get(f"repro_server_{histogram}_count", 0.0)
     if count <= 0 or not buckets:
         return 0.0
+    finite_covered = max((cumulative for bound, cumulative in buckets
+                          if bound != float("inf")), default=0.0)
+    if finite_covered <= 0:
+        # Every merged observation overflowed the last finite bound: report
+        # the merged mean (sum/count), mirroring Histogram.percentile.
+        return merged.get(f"repro_server_{histogram}_sum", 0.0) / count
     target = fraction * count
     last_finite = 0.0
     for bound, cumulative in buckets:

@@ -32,6 +32,7 @@ from repro.compiler.context import PipelineContext
 from repro.compiler.stages import ParseStage, Pass, build_stage
 from repro.core.circuit import Circuit
 from repro.mapping.layout import Layout
+from repro.obs.trace import span as trace_span
 
 #: Bump when the stage contract changes so stale pipeline cache entries miss.
 PIPELINE_SCHEMA_VERSION = 1
@@ -212,7 +213,12 @@ class Pipeline:
         start = time.perf_counter()
         for stage in self.stages:
             stage_start = time.perf_counter()
-            metrics = stage.run(context)
+            # A no-op when no trace is active; under a traced request every
+            # StageRecord below doubles as a span in the request's tree.
+            with trace_span(f"stage.{stage.name}") as entry:
+                metrics = stage.run(context)
+                if entry is not None and metrics:
+                    entry.attributes.update(metrics)
             context.record(stage.name, time.perf_counter() - stage_start,
                            **(metrics or {}))
         wall = time.perf_counter() - start

@@ -1,0 +1,52 @@
+"""repro.obs — end-to-end tracing, structured logging and profiling.
+
+The observability layer the serving stack (client → gateway → shard →
+queue → pipeline) reports into:
+
+* :mod:`repro.obs.trace` — :class:`TraceContext` propagation (the
+  ``X-Repro-Trace`` header + a thread-local context), :class:`Span`
+  intervals and the :func:`span` context manager (a no-op when untraced);
+* :mod:`repro.obs.store` — the per-process ring-buffer :class:`SpanStore`
+  behind ``GET /traces``;
+* :mod:`repro.obs.logging` — JSON-lines structured logging stamped with
+  trace ids;
+* :mod:`repro.obs.profile` — an opt-in thread-stack sampling wall-clock
+  profiler (:class:`SamplingProfiler`);
+* :mod:`repro.obs.render` — the ``repro trace`` span-tree renderer with
+  critical-path annotation.
+
+Everything is stdlib-only and safe to import from any layer: ``repro.obs``
+depends on nothing else in the package.
+"""
+
+from repro.obs.logging import StructuredLogger, configure, get_logger, recent
+from repro.obs.profile import ProfileReport, SamplingProfiler, profile_window
+from repro.obs.render import critical_path, render_trace
+from repro.obs.store import SpanStore, configure_store, get_store
+from repro.obs.trace import (TRACE_HEADER, Span, TraceContext, activate,
+                             current_trace, new_span_id, new_trace_id,
+                             record_span, span)
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "TraceContext",
+    "activate",
+    "current_trace",
+    "new_span_id",
+    "new_trace_id",
+    "record_span",
+    "span",
+    "SpanStore",
+    "configure_store",
+    "get_store",
+    "StructuredLogger",
+    "configure",
+    "get_logger",
+    "recent",
+    "ProfileReport",
+    "SamplingProfiler",
+    "profile_window",
+    "critical_path",
+    "render_trace",
+]

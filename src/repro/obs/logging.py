@@ -1,0 +1,121 @@
+"""JSON-lines structured logging, stamped with trace ids.
+
+One record per line, one JSON object per record: ``ts`` (epoch seconds),
+``level``, ``component``, ``event``, the active ``trace_id`` when a trace
+context is live on the logging thread, plus arbitrary keyword fields.  This
+replaces the previous ad-hoc approach (silence by default, raw
+``BaseHTTPRequestHandler.log_message`` lines under ``--verbose``): every
+record is machine-greppable by trace id, so an incident reconstructs as
+``grep <trace_id> server.log``.
+
+The module-level configuration is process-global and intentionally minimal:
+a sink (any ``.write``-able; default ``sys.stderr``, resolved at write time
+so redirection is honoured), a threshold level, and an always-on bounded
+ring of recent records (for tests and status surfaces — the ring never
+blocks the hot path on I/O).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from collections import deque
+from typing import TextIO
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Sentinel: "use ``sys.stderr``, resolved at write time".
+STDERR = object()
+#: Sentinel for configure(): "keep the current value".
+_UNSET = object()
+
+_lock = threading.Lock()
+_config: dict = {"sink": STDERR, "level": "info", "ring": deque(maxlen=256)}
+_loggers: dict[str, "StructuredLogger"] = {}
+
+
+def configure(sink: "TextIO | None | object" = _UNSET,
+              level: str | None = None,
+              ring_size: int | None = None) -> None:
+    """Adjust the process-global logging setup.
+
+    ``sink=None`` silences stream output (records still land in the ring);
+    ``sink=repro.obs.logging.STDERR`` restores the default.  Unspecified
+    arguments keep their current value.
+    """
+    with _lock:
+        if sink is not _UNSET:
+            _config["sink"] = sink
+        if level is not None:
+            if level not in LEVELS:
+                raise ValueError(f"unknown log level {level!r}; "
+                                 f"known: {sorted(LEVELS)}")
+            _config["level"] = level
+        if ring_size is not None:
+            _config["ring"] = deque(_config["ring"], maxlen=ring_size)
+
+
+def recent(count: int = 50) -> list[dict]:
+    """The newest ``count`` records (oldest first), regardless of sink."""
+    with _lock:
+        rows = list(_config["ring"])
+    return rows[-count:]
+
+
+def get_logger(component: str) -> "StructuredLogger":
+    """The (cached) logger for one component name."""
+    with _lock:
+        logger = _loggers.get(component)
+        if logger is None:
+            logger = _loggers[component] = StructuredLogger(component)
+        return logger
+
+
+class StructuredLogger:
+    """Emit JSON-lines records for one component."""
+
+    def __init__(self, component: str):
+        self.component = component
+
+    # ------------------------------------------------------------------ #
+    def log(self, level: str, event: str, **fields) -> dict | None:
+        """One record; returns the emitted dict (``None`` below threshold)."""
+        if LEVELS.get(level, 0) < LEVELS.get(_config["level"], 20):
+            return None
+        from repro.obs.trace import current_trace
+
+        record = {"ts": round(time.time(), 6), "level": level,
+                  "component": self.component, "event": event}
+        context = current_trace()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        line = json.dumps(record, sort_keys=True, default=str)
+        with _lock:
+            _config["ring"].append(record)
+            sink = _config["sink"]
+        if sink is STDERR:
+            sink = sys.stderr
+        if sink is not None:
+            try:
+                sink.write(line + "\n")
+            except (OSError, ValueError, io.UnsupportedOperation):
+                pass  # a broken sink must never fail the request path
+        return record
+
+    def debug(self, event: str, **fields) -> dict | None:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> dict | None:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> dict | None:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> dict | None:
+        return self.log("error", event, **fields)

@@ -1,0 +1,149 @@
+"""Opt-in sampling wall-clock profiler for live threads.
+
+A :class:`SamplingProfiler` runs a background thread that periodically grabs
+``sys._current_frames()`` and walks the stacks of the *watched* thread ids,
+counting identical stacks.  No ``sys.setprofile``/``settrace`` hooks are
+installed — the profiled code runs untouched and pays nothing per call; the
+only cost is the sampler thread's own work, bounded by ``interval_s``.
+
+Wall-clock (not CPU) sampling is the point for a serving stack: a worker
+stuck in a lock wait or a slow BFS shows up equally, because the question is
+"where did this request's *time* go", not "where did the CPU go".
+
+The scheduler uses this per-job: sample the worker thread while the job
+runs, then keep the report only if the job breached the slow threshold
+(dumped into the job's trace as a ``job.profile`` span).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+
+
+def _stack_of(frame, limit: int) -> tuple[str, ...]:
+    """Leaf-first ``module:function:line`` frames, at most ``limit`` deep."""
+    rows: list[str] = []
+    while frame is not None and len(rows) < limit:
+        code = frame.f_code
+        module = code.co_filename.rsplit("/", 1)[-1]
+        rows.append(f"{module}:{code.co_name}:{frame.f_lineno}")
+        frame = frame.f_back
+    return tuple(rows)
+
+
+class ProfileReport:
+    """Aggregated stack samples from one profiling window."""
+
+    def __init__(self, interval_s: float):
+        self.interval_s = interval_s
+        self.samples = 0
+        self.stacks: Counter[tuple[str, ...]] = Counter()
+        self.started_at = time.time()
+        self.stopped_at: float | None = None
+
+    @property
+    def wall_s(self) -> float:
+        end = self.stopped_at if self.stopped_at is not None else time.time()
+        return max(0.0, end - self.started_at)
+
+    def top(self, count: int = 10) -> list[dict]:
+        """The hottest stacks, leaf-first, heaviest first."""
+        rows = []
+        for stack, hits in self.stacks.most_common(count):
+            rows.append({"stack": list(stack), "samples": hits,
+                         "fraction": round(hits / self.samples, 4)
+                         if self.samples else 0.0})
+        return rows
+
+    def as_dict(self, count: int = 10) -> dict:
+        return {"samples": self.samples,
+                "interval_s": self.interval_s,
+                "wall_s": round(self.wall_s, 6),
+                "stacks": self.top(count)}
+
+
+class SamplingProfiler:
+    """Sample the stacks of selected threads on a fixed wall-clock interval.
+
+    Parameters
+    ----------
+    interval_s:
+        Seconds between samples (default 5 ms — coarse enough to be nearly
+        free, fine enough to attribute a 100 ms stage).
+    max_depth:
+        Frames kept per sampled stack.
+    """
+
+    def __init__(self, interval_s: float = 0.005, max_depth: int = 24):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._targets: frozenset[int] = frozenset()
+        self.report: ProfileReport | None = None
+
+    # ------------------------------------------------------------------ #
+    def start(self, thread_ids=None) -> "SamplingProfiler":
+        """Begin sampling ``thread_ids`` (default: every thread but ours)."""
+        if self._thread is not None:
+            raise RuntimeError("profiler is already running")
+        self._targets = frozenset(thread_ids or ())
+        self._stop.clear()
+        self.report = ProfileReport(self.interval_s)
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-obs-profiler")
+        self._thread.start()
+        return self
+
+    def stop(self) -> ProfileReport:
+        """End the window and return the aggregated report."""
+        if self._thread is None:
+            raise RuntimeError("profiler is not running")
+        self._stop.set()
+        self._thread.join(5.0)
+        self._thread = None
+        report = self.report
+        report.stopped_at = time.time()
+        return report
+
+    def __enter__(self) -> "SamplingProfiler":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._thread is not None:
+            self.stop()
+
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        own = threading.get_ident()
+        report = self.report
+        while not self._stop.is_set():
+            frames = sys._current_frames()
+            for ident, frame in frames.items():
+                if ident == own:
+                    continue
+                if self._targets and ident not in self._targets:
+                    continue
+                report.stacks[_stack_of(frame, self.max_depth)] += 1
+                report.samples += 1
+            del frames  # drop frame references promptly
+            self._stop.wait(self.interval_s)
+
+
+def profile_window(fn, *args, interval_s: float = 0.005, **kwargs):
+    """Run ``fn`` while sampling the calling thread; returns ``(result,
+    report)``.  Convenience wrapper for one-off investigations."""
+    profiler = SamplingProfiler(interval_s=interval_s)
+    profiler.start((threading.get_ident(),))
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        report = profiler.stop()
+    return result, report

@@ -1,0 +1,152 @@
+"""A lock-protected, bounded, per-process ring buffer of finished spans.
+
+The :class:`SpanStore` backs the ``GET /traces`` API on both the compile
+server and the cluster gateway.  It is deliberately dumb: a deque of
+:class:`~repro.obs.trace.Span` plus a ``trace_id`` index, with strict FIFO
+eviction past ``max_spans`` — a long-running server's observability layer
+must itself stay bounded, and evicting the *oldest* spans first means a hot
+incident's fresh traces survive while last hour's background noise goes.
+
+One store per process (:func:`get_store`): every layer that happens to live
+in this process — server handler, scheduler worker, pipeline stages, a
+gateway, even an in-process test client — records into the same ring, and
+the HTTP trace endpoints stitch across *processes* by span identity, so
+sharing a ring inside one process is harmless (duplicates dedupe by
+``span_id``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.trace import Span
+
+
+class SpanStore:
+    """Bounded FIFO span buffer with a ``trace_id`` index.
+
+    Parameters
+    ----------
+    max_spans:
+        Ring capacity; the oldest span is evicted once it is exceeded.
+    """
+
+    def __init__(self, max_spans: int = 4096):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._ring: deque[Span] = deque()
+        self._by_trace: dict[str, list[Span]] = {}
+        self.evicted = 0
+
+    # ------------------------------------------------------------------ #
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+            self._by_trace.setdefault(span.trace_id, []).append(span)
+            while len(self._ring) > self.max_spans:
+                oldest = self._ring.popleft()
+                self.evicted += 1
+                siblings = self._by_trace.get(oldest.trace_id)
+                if siblings is not None:
+                    try:
+                        siblings.remove(oldest)
+                    except ValueError:  # pragma: no cover — defensive
+                        pass
+                    if not siblings:
+                        del self._by_trace[oldest.trace_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._by_trace.clear()
+
+    # ------------------------------------------------------------------ #
+    def trace(self, trace_id: str) -> list[dict]:
+        """Every stored span of one trace, as dicts sorted by start time."""
+        with self._lock:
+            spans = list(self._by_trace.get(trace_id, ()))
+        return [entry.as_dict() for entry
+                in sorted(spans, key=lambda item: (item.start, item.span_id))]
+
+    def find_trace(self, job_key: str) -> str | None:
+        """The newest trace that carries ``job_key`` as a span attribute.
+
+        Accepts a full job key or an unambiguous prefix (>= 8 chars), so the
+        CLI can resolve ``repro trace <key>`` the way git resolves short
+        hashes.
+        """
+        if not job_key:
+            return None
+        with self._lock:
+            for span in reversed(self._ring):
+                recorded = span.attributes.get("job_key")
+                if not isinstance(recorded, str):
+                    continue
+                if recorded == job_key or (len(job_key) >= 8
+                                           and recorded.startswith(job_key)):
+                    return span.trace_id
+        return None
+
+    def summaries(self, limit: int = 50) -> list[dict]:
+        """Newest-first per-trace digests (the ``GET /traces`` body)."""
+        with self._lock:
+            traces = {trace_id: list(spans)
+                      for trace_id, spans in self._by_trace.items()}
+        rows = []
+        for trace_id, spans in traces.items():
+            start = min(item.start for item in spans)
+            end = max(item.end or item.start for item in spans)
+            roots = [item for item in spans
+                     if not item.parent_id
+                     or all(item.parent_id != other.span_id
+                            for other in spans)]
+            root = min(roots or spans, key=lambda item: item.start)
+            job_keys = sorted({item.attributes["job_key"] for item in spans
+                               if isinstance(item.attributes.get("job_key"),
+                                             str)})
+            rows.append({
+                "trace_id": trace_id,
+                "root": root.name,
+                "start": round(start, 6),
+                "duration_s": round(max(0.0, end - start), 6),
+                "spans": len(spans),
+                "job_keys": job_keys,
+            })
+        rows.sort(key=lambda row: row["start"], reverse=True)
+        return rows[:max(0, limit)]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"spans": len(self._ring), "traces": len(self._by_trace),
+                    "max_spans": self.max_spans, "evicted": self.evicted}
+
+
+# --------------------------------------------------------------------------- #
+# The process-global store
+# --------------------------------------------------------------------------- #
+_STORE = SpanStore()
+_STORE_LOCK = threading.Lock()
+
+
+def get_store() -> SpanStore:
+    """The per-process span ring every traced component records into."""
+    return _STORE
+
+
+def configure_store(max_spans: int) -> SpanStore:
+    """Resize the process-global ring (existing spans are kept, oldest out)."""
+    global _STORE
+    with _STORE_LOCK:
+        fresh = SpanStore(max_spans=max_spans)
+        for span in list(_STORE._ring):
+            fresh.add(span)
+        fresh.evicted += _STORE.evicted
+        _STORE = fresh
+    return _STORE

@@ -1,0 +1,214 @@
+"""Trace context and spans: the unit of end-to-end request attribution.
+
+A **trace** is one logical request as it crosses layers — client submit,
+gateway proxy, shard queue wait, every pipeline stage — identified by a
+``trace_id`` minted at the edge (usually :class:`~repro.server.client.
+CompileClient`).  Each hop records **spans**: named, timed intervals with a
+parent link, so the whole request reassembles into a tree.
+
+The context travels two ways:
+
+* **over HTTP** as the ``X-Repro-Trace`` header
+  (``<trace_id>-<span_id>[;key=value;...]`` — baggage entries after the
+  first ``;``), parsed and re-emitted by the server, gateway and client;
+* **inside a process** through a :class:`contextvars.ContextVar`, so deeply
+  nested code (pipeline stages, the portfolio runner) can open child spans
+  without any plumbing: :func:`span` is a no-op when no trace is active,
+  which keeps untraced hot paths at the cost of one ``ContextVar.get``.
+
+Spans land in the process-global ring buffer
+(:func:`repro.obs.store.get_store`); nothing here blocks or allocates
+unboundedly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+#: The propagation header carried client → gateway → shard.
+TRACE_HEADER = "X-Repro-Trace"
+
+_ID_PATTERN = re.compile(r"^[0-9a-f]+$")
+
+_current: contextvars.ContextVar["TraceContext | None"] = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit lowercase-hex trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit lowercase-hex span id."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one trace: ``(trace_id, active span_id)``.
+
+    ``span_id`` is the id of the *currently active* span — children opened
+    under this context use it as their ``parent_id``.  An empty ``span_id``
+    means "no active span yet": the next span becomes a root of the trace.
+    ``baggage`` is a small string→string map carried verbatim across hops.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    baggage: Mapping[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def new(cls, **baggage: str) -> "TraceContext":
+        return cls(trace_id=new_trace_id(), baggage=dict(baggage))
+
+    def child_of(self, span_id: str) -> "TraceContext":
+        """The context seen by code running *inside* the span ``span_id``."""
+        return TraceContext(trace_id=self.trace_id, span_id=span_id,
+                            baggage=self.baggage)
+
+    # ------------------------------------------------------------------ #
+    def to_header(self) -> str:
+        parts = [f"{self.trace_id}-{self.span_id}"]
+        for key in sorted(self.baggage):
+            parts.append(f"{key}={self.baggage[key]}")
+        return ";".join(parts)
+
+    @classmethod
+    def from_header(cls, value: str | None) -> "TraceContext | None":
+        """Parse an ``X-Repro-Trace`` header; ``None`` when absent/garbled.
+
+        A malformed header is treated as missing rather than an error — a
+        bad trace must never fail the request it was meant to explain.
+        """
+        if not value:
+            return None
+        head, _, tail = value.strip().partition(";")
+        trace_id, _, span_id = head.partition("-")
+        if not _ID_PATTERN.match(trace_id):
+            return None
+        if span_id and not _ID_PATTERN.match(span_id):
+            span_id = ""
+        baggage: dict[str, str] = {}
+        for item in tail.split(";"):
+            if not item:
+                continue
+            key, sep, val = item.partition("=")
+            if sep:
+                baggage[key.strip()] = val.strip()
+        return cls(trace_id=trace_id, span_id=span_id, baggage=baggage)
+
+
+@dataclass
+class Span:
+    """One named, timed interval of a trace (wall-clock epoch seconds)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6) if self.end is not None else None,
+            "duration_s": round(self.duration_s, 6),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Span":
+        return cls(trace_id=data["trace_id"], span_id=data["span_id"],
+                   parent_id=data.get("parent_id", ""), name=data["name"],
+                   start=float(data["start"]),
+                   end=(float(data["end"]) if data.get("end") is not None
+                        else None),
+                   attributes=dict(data.get("attributes") or {}))
+
+
+# --------------------------------------------------------------------------- #
+# Context helpers
+# --------------------------------------------------------------------------- #
+def current_trace() -> TraceContext | None:
+    """The trace context active on this thread (``None`` when untraced)."""
+    return _current.get()
+
+
+@contextmanager
+def activate(context: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``context`` the current trace for the enclosed block."""
+    token = _current.set(context)
+    try:
+        yield context
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str, **attributes) -> Iterator[Span | None]:
+    """Open a child span under the current trace; no-op when untraced.
+
+    The yielded :class:`Span` (or ``None``) accepts extra ``attributes``
+    before the block exits; on exit the span is closed and recorded into the
+    process-global :class:`~repro.obs.store.SpanStore`.  Exceptions propagate
+    — the span is still recorded, stamped with the error type.
+    """
+    context = _current.get()
+    if context is None:
+        yield None
+        return
+    entry = Span(trace_id=context.trace_id, span_id=new_span_id(),
+                 parent_id=context.span_id, name=name, start=time.time(),
+                 attributes=dict(attributes))
+    token = _current.set(context.child_of(entry.span_id))
+    try:
+        yield entry
+    except BaseException as exc:
+        entry.attributes.setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        entry.end = time.time()
+        _current.reset(token)
+        from repro.obs.store import get_store
+
+        get_store().add(entry)
+
+
+def record_span(name: str, *, trace: TraceContext, start: float,
+                end: float | None = None, parent_id: str | None = None,
+                **attributes) -> Span:
+    """Record a span with explicit timestamps (e.g. a backdated queue wait).
+
+    Unlike :func:`span` this never touches the current context: it is for
+    intervals measured elsewhere (a ticket's submit→pop window) that are
+    attributed to a trace after the fact.
+    """
+    entry = Span(trace_id=trace.trace_id, span_id=new_span_id(),
+                 parent_id=trace.span_id if parent_id is None else parent_id,
+                 name=name, start=start,
+                 end=time.time() if end is None else end,
+                 attributes=dict(attributes))
+    from repro.obs.store import get_store
+
+    get_store().add(entry)
+    return entry

@@ -23,6 +23,8 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.obs.trace import (TRACE_HEADER, TraceContext, activate,
+                             current_trace, span)
 from repro.service.jobs import CompileJob, CompileOutcome, PortfolioJob
 
 
@@ -71,6 +73,8 @@ class CompileClient:
         self._rng = random.Random()
         #: Transient failures retried over this client's lifetime.
         self.retried = 0
+        #: The trace id of the most recent submission (``None`` before any).
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str, body: dict | None = None, *,
@@ -104,6 +108,9 @@ class CompileClient:
     def _request_once(self, method: str, path: str, body: dict | None = None,
                       *, timeout: float | None = None) -> tuple[int, dict | str]:
         request = urllib.request.Request(self.base_url + path, method=method)
+        context = current_trace()
+        if context is not None:
+            request.add_header(TRACE_HEADER, context.to_header())
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
@@ -133,11 +140,25 @@ class CompileClient:
     # ------------------------------------------------------------------ #
     def _submit(self, path: str, job, *, priority: int, wait: bool,
                 timeout: float) -> dict:
-        """Shared submit body/timeout plumbing for ``/jobs`` and ``/portfolio``."""
+        """Shared submit body/timeout plumbing for ``/jobs`` and ``/portfolio``.
+
+        Every submission runs under a trace context — the caller's, or a
+        fresh one minted here at the edge — propagated to the server as the
+        ``X-Repro-Trace`` header.  Retries stay inside the one span: they are
+        the same logical request.  The trace id is kept on
+        :attr:`last_trace_id` for ``repro trace``-style follow-ups.
+        """
         body = {"job": job.to_dict() if hasattr(job, "to_dict") else job,
                 "priority": priority, "wait": wait, "timeout": timeout}
         socket_timeout = self.timeout + (timeout if wait else 0.0)
-        _, payload = self._request("POST", path, body, timeout=socket_timeout)
+        context = current_trace() or TraceContext.new()
+        self.last_trace_id = context.trace_id
+        with activate(context):
+            with span("client.request", method="POST", path=path) as entry:
+                _, payload = self._request("POST", path, body,
+                                           timeout=socket_timeout)
+                if entry is not None and isinstance(payload, dict):
+                    entry.attributes["job_key"] = payload.get("key")
         return payload  # type: ignore[return-value]
 
     def _submit_and_wait(self, path: str, job, *, priority: int,
@@ -219,6 +240,20 @@ class CompileClient:
                                      timeout=timeout)
 
     # ------------------------------------------------------------------ #
+    def trace(self, trace_id: str) -> dict:
+        """``GET /traces/<id>`` — the span tree of one trace.
+
+        ``trace_id`` may also be a job key (full, or a >= 8-char prefix);
+        the server resolves it to the newest matching trace.
+        """
+        _, payload = self._request("GET", f"/traces/{trace_id}")
+        return payload  # type: ignore[return-value]
+
+    def traces(self, limit: int = 50) -> dict:
+        """``GET /traces`` — newest-first trace digests plus ring stats."""
+        _, payload = self._request("GET", f"/traces?limit={limit}")
+        return payload  # type: ignore[return-value]
+
     def health(self) -> dict:
         _, payload = self._request("GET", "/healthz")
         return payload  # type: ignore[return-value]

@@ -22,7 +22,18 @@ Endpoints (all JSON unless noted):
 * ``GET /metrics`` — Prometheus text exposition (``text/plain``), including
   per-pipeline-stage cumulative timings
   (``repro_server_stage_seconds_total{stage=...}``).
-* ``GET /healthz`` — liveness plus a metrics/cache snapshot.
+* ``GET /healthz`` — liveness plus a metrics/cache/span-store snapshot.
+* ``GET /traces`` — newest-first digests of recently traced requests (ring
+  buffer, strictly bounded); ``?limit=N`` caps the rows.
+* ``GET /traces/<id>`` — every stored span of one trace, by full trace id or
+  by job key (full or >= 8-char prefix); ``404`` when evicted/unknown.
+
+Tracing: ``POST`` submissions parse the ``X-Repro-Trace`` header (minting a
+fresh trace when absent) and run inside a ``server.request`` span, so queue
+waits, execution and pipeline stages recorded deeper down assemble into one
+tree.  The header is echoed on the response and the trace id is embedded in
+submit replies.  Status polls (``GET``) are deliberately untraced — a 30 s
+blocking wait would otherwise bury the ring under hundreds of poll spans.
 
 The server is a ``ThreadingHTTPServer``: each request gets a thread, so a
 blocking ``wait`` submit does not starve status polls.  :class:`CompileServer`
@@ -36,7 +47,11 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
 
+from repro.obs.logging import get_logger
+from repro.obs.store import configure_store, get_store
+from repro.obs.trace import TRACE_HEADER, TraceContext, activate, span
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import JobQueue, QueueClosedError, QueueFullError
 from repro.server.scheduler import Scheduler
@@ -48,6 +63,8 @@ from repro.service.jobs import CompileJob, PortfolioJob
 MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Longest a single blocking-wait submit may hold its request thread.
 MAX_WAIT_S = 300.0
+
+_LOG = get_logger("server.http")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -62,14 +79,22 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.app  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
-        if self.app.verbose:
-            super().log_message(format, *args)
+        # Structured instead of the stdlib's raw stderr lines: 4xx/5xx during
+        # an incident are greppable by trace id like everything else.
+        _LOG.debug("http_access", client=self.address_string(),
+                   message=format % args)
 
     def _reply(self, status: int, payload: dict | str, *,
                content_type: str = "application/json") -> None:
+        trace = getattr(self, "_trace", None)
+        entry = getattr(self, "_span", None)
+        if entry is not None:
+            entry.attributes["status"] = status
         body = (payload if isinstance(payload, str)
                 else json.dumps(payload, sort_keys=True)).encode("utf-8")
         self.send_response(status)
+        if trace is not None:
+            self.send_header(TRACE_HEADER, trace.to_header())
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         if status == 429:
@@ -106,18 +131,53 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        # Handler instances live per *connection*: clear request-scoped trace
+        # state so a keep-alive GET never reuses the previous POST's trace.
+        self._trace = None
+        self._span = None
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._reply(200, self.app.health())
         elif path == "/metrics":
             self._reply(200, self.app.metrics.to_prometheus(),
                         content_type="text/plain; version=0.0.4")
+        elif path == "/traces":
+            self._get_traces()
+        elif path.startswith("/traces/"):
+            self._get_trace(path[len("/traces/"):])
         elif path.startswith("/jobs/"):
             self._get_job(path[len("/jobs/"):])
         elif path.startswith("/results/"):
             self._get_result(path[len("/results/"):])
         else:
             self._error(404, f"unknown path {path!r}")
+
+    def _query_int(self, name: str, default: int) -> int:
+        for item in urlsplit(self.path).query.split("&"):
+            key, sep, value = item.partition("=")
+            if sep and key == name:
+                try:
+                    return int(value)
+                except ValueError:
+                    return default
+        return default
+
+    def _get_traces(self) -> None:
+        store = get_store()
+        self._reply(200, {"traces": store.summaries(
+            self._query_int("limit", 50)), "store": store.stats()})
+
+    def _get_trace(self, ident: str) -> None:
+        store = get_store()
+        trace_id, spans = ident, store.trace(ident)
+        if not spans:
+            resolved = store.find_trace(ident)  # job key / >=8-char prefix
+            if resolved is not None:
+                trace_id, spans = resolved, store.trace(resolved)
+        if spans:
+            self._reply(200, {"trace_id": trace_id, "spans": spans})
+        else:
+            self._error(404, f"no trace for {ident!r}")
 
     def _get_job(self, key: str) -> None:
         ticket = self.app.scheduler.lookup(key)
@@ -139,6 +199,26 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         path = self.path.split("?", 1)[0].rstrip("/")
+        # Continue the caller's trace (X-Repro-Trace) or start a fresh one:
+        # every submission is traced, and everything the scheduler records
+        # for this job nests under this request span.
+        context = (TraceContext.from_header(self.headers.get(TRACE_HEADER))
+                   or TraceContext.new())
+        self._trace = context
+        self._span = None
+        started = time.monotonic()
+        with activate(context):
+            with span("server.request", method="POST", path=path) as entry:
+                self._span = entry
+                self._handle_post(path)
+            elapsed = time.monotonic() - started
+            slow_after = self.app.slow_request_s
+            if slow_after is not None and elapsed >= slow_after:
+                _LOG.warning("slow_request", method="POST", path=path,
+                             elapsed_s=round(elapsed, 6),
+                             threshold_s=slow_after)
+
+    def _handle_post(self, path: str) -> None:
         if path == "/jobs":
             job_cls = CompileJob
         elif path == "/portfolio":
@@ -166,15 +246,26 @@ class _Handler(BaseHTTPRequestHandler):
         except QueueClosedError as exc:
             self._error(503, str(exc))
             return
+        if self._span is not None:
+            self._span.attributes.update(job_key=ticket.key,
+                                         coalesced=coalesced)
+            if coalesced and ticket.trace is not None:
+                # Span-link style: the follower keeps its own request span
+                # but points at the leader's trace, where the shared
+                # queue-wait/execution spans live.
+                self._span.attributes["leader_trace_id"] = \
+                    ticket.trace.trace_id
+        trace_id = self._trace.trace_id if self._trace is not None else None
         if wait:
             outcome = ticket.wait(timeout)
             if outcome is not None:
                 self._reply(200, {"key": ticket.key, "coalesced": coalesced,
                                   "cache_hit": outcome.cache_hit,
+                                  "trace_id": trace_id,
                                   "outcome": outcome.to_dict()})
                 return
         self._reply(202, {"key": ticket.key, "status": ticket.state,
-                          "coalesced": coalesced,
+                          "coalesced": coalesced, "trace_id": trace_id,
                           "queue_depth": self.app.queue.depth})
 
 
@@ -195,6 +286,15 @@ class CompileServer:
         Queue admission bound (``None`` = unbounded).
     job_timeout:
         Per-job wall-clock bound in seconds (``None`` = unbounded).
+    slow_request_s:
+        Requests slower than this log a ``slow_request`` warning through the
+        structured logger (``None`` disables).
+    profile_slow_s:
+        Forwarded to the scheduler: sample executing jobs and attach a
+        ``job.profile`` span to traces slower than this (``None`` disables).
+    trace_max_spans:
+        Resize the process-global span ring (``None`` keeps the current
+        size).  Note the store is per-*process*: in-process servers share it.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -202,8 +302,14 @@ class CompileServer:
                  max_depth: int | None = 256,
                  job_timeout: float | None = None,
                  default_cache_entries: int = 1024,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 slow_request_s: float | None = 5.0,
+                 profile_slow_s: float | None = None,
+                 trace_max_spans: int | None = None):
         self.verbose = verbose
+        self.slow_request_s = slow_request_s
+        if trace_max_spans is not None:
+            configure_store(trace_max_spans)
         if cache is None:
             cache = ResultCache(max_entries=default_cache_entries)
         self.cache = cache
@@ -212,8 +318,16 @@ class CompileServer:
         self.metrics = ServerMetrics()
         self.scheduler = Scheduler(self.service, queue=self.queue,
                                    workers=workers, job_timeout=job_timeout,
-                                   metrics=self.metrics)
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+                                   metrics=self.metrics,
+                                   profile_slow_s=profile_slow_s)
+        # The stdlib default listen backlog (request_queue_size=5) drops —
+        # and on Linux resets — connections under a client-herd burst, which
+        # an upstream gateway would misread as a dead shard and fail over.
+        self._httpd = ThreadingHTTPServer((host, port), _Handler,
+                                          bind_and_activate=False)
+        self._httpd.request_queue_size = 128
+        self._httpd.server_bind()
+        self._httpd.server_activate()
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
         self._http_thread: threading.Thread | None = None
@@ -241,6 +355,7 @@ class CompileServer:
             "jobs_in_flight": self.scheduler.active,
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats.as_dict(),
+            "traces": get_store().stats(),
         }
 
     # ------------------------------------------------------------------ #

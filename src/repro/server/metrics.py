@@ -36,11 +36,30 @@ class Histogram:
         self._counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: Per-bucket exemplar ``(trace_id, value)`` — the worst observation
+        #: seen in that bucket, linking a latency bucket to a concrete trace.
+        self._exemplars: dict[int, tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
-        self._counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        index = bisect_left(self.bounds, value)
+        self._counts[index] += 1
         self.count += 1
         self.sum += value
+        if trace_id:
+            held = self._exemplars.get(index)
+            if held is None or value >= held[1]:
+                self._exemplars[index] = (trace_id, value)
+
+    def exemplar(self) -> dict | None:
+        """The slowest-bucket exemplar: a trace id to pull for "why slow?"."""
+        if not self._exemplars:
+            return None
+        index = max(self._exemplars)
+        trace_id, value = self._exemplars[index]
+        bound = (self.bounds[index] if index < len(self.bounds)
+                 else float("inf"))
+        return {"trace_id": trace_id, "value": round(value, 6),
+                "bucket_le": "+Inf" if bound == float("inf") else bound}
 
     # ------------------------------------------------------------------ #
     def percentile(self, fraction: float) -> float:
@@ -49,11 +68,16 @@ class Histogram:
         Returns the smallest bucket bound whose cumulative count covers the
         requested fraction; observations past the last bound report the last
         finite bound (an under-estimate, flagged by ``+Inf`` bucket counts).
+        When *every* observation overflowed into the +Inf bucket the finite
+        bounds say nothing at all, so the mean (``sum/count``) is reported
+        instead of a top bound that could be arbitrarily far below reality.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         if self.count == 0:
             return 0.0
+        if self._counts[-1] == self.count:
+            return self.sum / self.count
         target = fraction * self.count
         cumulative = 0
         for bound, bucket_count in zip(self.bounds, self._counts):
@@ -77,10 +101,16 @@ class Histogram:
         return pairs
 
     def as_dict(self) -> dict:
-        return {"count": self.count, "sum": round(self.sum, 6),
+        data = {"count": self.count, "sum": round(self.sum, 6),
                 "mean": round(self.mean, 6),
                 "p50": self.percentile(0.50), "p95": self.percentile(0.95),
                 "p99": self.percentile(0.99)}
+        exemplar = self.exemplar()
+        if exemplar is not None:
+            # JSON snapshots only — the Prometheus text format stays
+            # exemplar-free so ``iter_samples``'s rpartition parse holds.
+            data["exemplar"] = exemplar
+        return data
 
 
 def _format_value(value: float) -> str:
@@ -195,8 +225,14 @@ class ServerMetrics:
             return dict(self._wins)
 
     def observe_job(self, wait_s: float | None, service_s: float | None,
-                    *, ok: bool, cache_hit: bool, coalesced: int = 0) -> None:
-        """Record one finished job in a single locked update."""
+                    *, ok: bool, cache_hit: bool, coalesced: int = 0,
+                    trace_id: str | None = None) -> None:
+        """Record one finished job in a single locked update.
+
+        ``trace_id`` (when the job was traced) becomes the latency
+        histograms' bucket exemplar, linking "the p99 is bad" straight to a
+        ``GET /traces/<trace_id>`` span tree.
+        """
         with self._lock:
             self._counters["completed"] += 1
             if not ok:
@@ -206,9 +242,9 @@ class ServerMetrics:
             if coalesced:
                 self._counters["coalesced"] += coalesced
             if wait_s is not None:
-                self.wait_seconds.observe(wait_s)
+                self.wait_seconds.observe(wait_s, trace_id)
             if service_s is not None:
-                self.service_seconds.observe(service_s)
+                self.service_seconds.observe(service_s, trace_id)
 
     def register_gauge(self, name: str, supplier: Callable[[], float]) -> None:
         with self._lock:

@@ -25,6 +25,7 @@ import itertools
 import threading
 import time
 
+from repro.obs.trace import current_trace
 from repro.service.jobs import CompileJob, CompileOutcome
 
 #: Ticket lifecycle states.
@@ -56,6 +57,12 @@ class JobTicket:
         self.outcome: CompileOutcome | None = None
         #: How many *extra* submissions attached to this ticket.
         self.coalesced = 0
+        #: The submitter's trace context (if any): the leader's request trace,
+        #: under which queue-wait and execution spans are recorded.  Wall-clock
+        #: submit time rides along because spans use epoch seconds while the
+        #: latency accounting below stays on the monotonic clock.
+        self.trace = current_trace()
+        self.submitted_wall = time.time()
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None

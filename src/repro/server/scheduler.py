@@ -21,8 +21,12 @@ results older than the window are still served from the result cache.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
+from repro.obs.logging import get_logger
+from repro.obs.profile import ProfileReport, SamplingProfiler
+from repro.obs.trace import activate, current_trace, record_span, span
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import (DONE, FAILED, JobQueue, JobTicket,
                                 QueueClosedError, QueueFullError)
@@ -31,6 +35,8 @@ from repro.service.jobs import CompileJob, CompileOutcome
 
 #: How often paused/idle workers re-check for work or shutdown (seconds).
 _POLL_S = 0.05
+
+_LOG = get_logger("server.scheduler")
 
 
 class Scheduler:
@@ -50,13 +56,23 @@ class Scheduler:
         Shared :class:`ServerMetrics`; defaults to a private instance.
     max_records:
         How many finished tickets stay addressable by key.
+    profile_slow_s:
+        When set, every executing job is watched by a
+        :class:`~repro.obs.profile.SamplingProfiler`; jobs slower than this
+        threshold get the sampled stacks attached to their trace as a
+        ``job.profile`` span (fast jobs discard the report).  ``None``
+        (default) disables profiling entirely.
+    profile_interval_s:
+        Sampling period for the profiler (default 5 ms).
     """
 
     def __init__(self, service: CompilationService | None = None, *,
                  queue: JobQueue | None = None, workers: int = 2,
                  job_timeout: float | None = None,
                  metrics: ServerMetrics | None = None,
-                 max_records: int = 4096):
+                 max_records: int = 4096,
+                 profile_slow_s: float | None = None,
+                 profile_interval_s: float = 0.005):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.service = service or CompilationService()
@@ -65,6 +81,8 @@ class Scheduler:
         self.job_timeout = job_timeout
         self.metrics = metrics or ServerMetrics()
         self.max_records = max_records
+        self.profile_slow_s = profile_slow_s
+        self.profile_interval_s = profile_interval_s
         self.records: OrderedDict[str, JobTicket] = OrderedDict()
         self._records_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
@@ -175,14 +193,16 @@ class Scheduler:
             with self._active_lock:
                 self._active += 1
             try:
-                outcome = self._execute(ticket.job)
+                outcome = self._traced_execute(ticket)
             finally:
                 with self._active_lock:
                     self._active -= 1
             self.queue.finish(ticket, outcome)
             self.metrics.observe_job(
                 ticket.wait_seconds, ticket.service_seconds,
-                ok=outcome.ok, cache_hit=outcome.cache_hit)
+                ok=outcome.ok, cache_hit=outcome.cache_hit,
+                trace_id=(ticket.trace.trace_id
+                          if ticket.trace is not None else None))
             if (outcome.ok and not outcome.cache_hit and outcome.summary
                     and "portfolio" in outcome.summary):
                 # A cache replay embeds the original run's stats; only count
@@ -197,23 +217,78 @@ class Scheduler:
                 if stages:
                     self.metrics.observe_stages(stages)
 
-    def _execute(self, job: CompileJob) -> CompileOutcome:
+    def _traced_execute(self, ticket: JobTicket) -> CompileOutcome:
+        """Run one ticket under its submitter's trace (if it has one).
+
+        The queue wait is recorded as a *backdated* span (the interval was
+        measured by the ticket, not by any code that could hold a span open),
+        then the execution runs inside a ``job.execute`` span so pipeline
+        stages opened deeper down nest under it via the context variable.
+        """
+        context = ticket.trace
+        if context is None:
+            outcome, _ = self._execute(ticket.job)
+            return outcome
+        picked_up = time.time()
+        record_span("queue.wait", trace=context,
+                    start=ticket.submitted_wall, end=picked_up,
+                    job_key=ticket.key, priority=ticket.priority,
+                    coalesced=ticket.coalesced)
+        with activate(context):
+            with span("job.execute", job_key=ticket.key,
+                      kind=getattr(ticket.job, "kind", "compile")) as entry:
+                outcome, report = self._execute(ticket.job)
+                entry.attributes["status"] = outcome.status
+                entry.attributes["cache_hit"] = outcome.cache_hit
+                service_s = time.time() - picked_up
+                if (report is not None and report.samples
+                        and service_s >= (self.profile_slow_s or 0.0)):
+                    record_span("job.profile", trace=current_trace(),
+                                start=report.started_at,
+                                end=report.stopped_at or picked_up,
+                                job_key=ticket.key,
+                                profile=report.as_dict())
+                    _LOG.warning("slow_job_profiled", job_key=ticket.key,
+                                 service_s=round(service_s, 6),
+                                 samples=report.samples)
+        return outcome
+
+    def _execute(self, job: CompileJob
+                 ) -> tuple[CompileOutcome, ProfileReport | None]:
+        profiler = (SamplingProfiler(self.profile_interval_s)
+                    if self.profile_slow_s is not None else None)
         if self.job_timeout is None:
-            return self._compile(job)
+            if profiler is not None:
+                profiler.start((threading.get_ident(),))
+            try:
+                outcome = self._compile(job)
+            finally:
+                report = profiler.stop() if profiler is not None else None
+            return outcome, report
         box: dict[str, CompileOutcome] = {}
-        runner = threading.Thread(target=lambda: box.update(
-            outcome=self._compile(job)), daemon=True)
+        context = current_trace()
+
+        def _run() -> None:
+            # Context variables don't cross threads: re-activate the trace so
+            # pipeline-stage spans inside the compile still nest correctly.
+            with activate(context):
+                box.update(outcome=self._compile(job))
+
+        runner = threading.Thread(target=_run, daemon=True)
         runner.start()
+        if profiler is not None and runner.ident is not None:
+            profiler.start((runner.ident,))
         runner.join(self.job_timeout)
+        report = profiler.stop() if profiler is not None else None
         if runner.is_alive():
             return CompileOutcome(
                 job_key=job.key, status="error",
                 error=f"job exceeded the {self.job_timeout}s server timeout",
-                error_type="TimeoutError")
-        return box.get("outcome") or CompileOutcome(
+                error_type="TimeoutError"), report
+        return (box.get("outcome") or CompileOutcome(
             job_key=job.key, status="error",
             error="worker thread died without producing an outcome",
-            error_type="RuntimeError")
+            error_type="RuntimeError")), report
 
     def _compile(self, job: CompileJob) -> CompileOutcome:
         try:

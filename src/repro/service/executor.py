@@ -16,6 +16,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.obs.trace import span as trace_span
 from repro.service.cache import ResultCache
 from repro.service.jobs import CompileJob, CompileOutcome, job_from_dict
 
@@ -36,7 +37,16 @@ def execute_job(job, cache: ResultCache | None = None) -> CompileOutcome:
         if getattr(job, "kind", "compile") == "portfolio":
             from repro.portfolio.runner import run_portfolio_job
 
-            return run_portfolio_job(job, cache=cache)
+            # Candidate legs racing in *child processes* can't reach this
+            # process's span store; the race is one span with the winner.
+            with trace_span("portfolio.race",
+                            candidates=len(job.candidates)) as race:
+                outcome = run_portfolio_job(job, cache=cache)
+                if race is not None and outcome.summary:
+                    race.attributes["winner_router"] = (
+                        outcome.summary.get("portfolio", {})
+                        .get("winner_router"))
+                return outcome
         from repro.qasm.exporter import circuit_to_qasm
         from repro.qasm.parser import parse_qasm
         from repro.service.registry import build_device, build_router
@@ -53,10 +63,12 @@ def execute_job(job, cache: ResultCache | None = None) -> CompileOutcome:
                                   routed_qasm=circuit_to_qasm(result.compiled),
                                   elapsed_s=time.perf_counter() - start)
         router = build_router(job.router)
-        circuit = parse_qasm(job.qasm, name=job.circuit_name)
-        result = router.run(circuit, device,
-                            layout_strategy=job.layout_strategy,
-                            seed=job.effective_seed)
+        with trace_span("stage.parse"):
+            circuit = parse_qasm(job.qasm, name=job.circuit_name)
+        with trace_span("stage.route", router=job.router["name"]):
+            result = router.run(circuit, device,
+                                layout_strategy=job.layout_strategy,
+                                seed=job.effective_seed)
         return CompileOutcome(job_key=job.key, status="ok",
                               summary=result.summary(),
                               routed_qasm=circuit_to_qasm(result.routed),

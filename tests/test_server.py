@@ -255,7 +255,30 @@ class TestMetrics:
         histogram = Histogram(buckets=(0.01,))
         histogram.observe(99.0)
         assert histogram.cumulative_buckets() == [(0.01, 0), (float("inf"), 1)]
-        assert histogram.percentile(0.99) == 0.01  # clipped to last bound
+        # Every observation overflowed: the finite bounds know nothing, so
+        # the percentile falls back to sum/count instead of reporting the
+        # top bound (0.01 s for a 99 s observation — off by four decades).
+        assert histogram.percentile(0.99) == pytest.approx(99.0)
+        assert histogram.percentile(0.50) == pytest.approx(99.0)
+
+    def test_histogram_partial_overflow_still_reports_bounds(self):
+        histogram = Histogram(buckets=(0.01, 0.1))
+        histogram.observe(0.005)
+        histogram.observe(99.0)
+        assert histogram.percentile(0.50) == 0.01  # covered by finite bucket
+        assert histogram.percentile(0.99) == 0.1  # clipped to last bound
+
+    def test_histogram_exemplar_tracks_slowest_bucket(self):
+        histogram = Histogram(buckets=(0.01, 0.1))
+        histogram.observe(0.005, "trace-fast")
+        histogram.observe(0.05, "trace-slow")
+        histogram.observe(0.002)  # untraced observations leave no exemplar
+        exemplar = histogram.exemplar()
+        assert exemplar == {"trace_id": "trace-slow", "value": 0.05,
+                            "bucket_le": 0.1}
+        histogram.observe(5.0, "trace-overflow")
+        assert histogram.exemplar()["bucket_le"] == "+Inf"
+        assert histogram.as_dict()["exemplar"]["trace_id"] == "trace-overflow"
 
     def test_empty_histogram(self):
         histogram = Histogram()
