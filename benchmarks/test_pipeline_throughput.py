@@ -139,3 +139,64 @@ def test_routing_suite_cold_vs_warm_analysis(paper_scale):
         "warm_stage_seconds": _aggregate_stage_seconds(warm_outcomes),
         "paper_scale": paper_scale,
     }, path=BENCH_PATH)
+
+
+def test_recorder_overhead_within_noise(paper_scale):
+    """The metrics recorder must not tax the serving path.
+
+    The warm pipeline suite runs with a :class:`MetricsRecorder` sampling a
+    live :class:`ServerMetrics` at 1 ms (500-5000x the production 5 s
+    cadence) and without one; the sampled run must stay within noise of the
+    clean run.  Each leg is best-of-3 so a scheduler hiccup doesn't flake
+    the guard.
+    """
+    from repro.arch.devices import get_device
+    from repro.obs.timeseries import MetricsRecorder
+    from repro.server.metrics import ServerMetrics
+
+    jobs = _jobs(paper_scale)
+    clear_cache()
+    for device in DEVICES:
+        analyze(get_device(device))
+
+    def run_suite(metrics: ServerMetrics) -> float:
+        start = time.perf_counter()
+        for job in jobs:
+            outcome = execute_job(job)
+            assert outcome.ok
+            metrics.observe_job(0.0, outcome.elapsed_s or 0.001, ok=True,
+                                cache_hit=False)
+        return time.perf_counter() - start
+
+    run_suite(ServerMetrics())  # warm-up pass, discarded
+
+    off_s = min(run_suite(ServerMetrics()) for _ in range(3))
+
+    on_times = []
+    for _ in range(3):
+        metrics = ServerMetrics()
+        recorder = MetricsRecorder(metrics.history_sample,
+                                   interval_s=0.001, max_samples=16384)
+        recorder.start()
+        try:
+            on_times.append(run_suite(metrics))
+        finally:
+            recorder.stop()
+        assert recorder.sample_errors == 0
+        assert len(recorder) >= 2  # it really was sampling concurrently
+    on_s = min(on_times)
+
+    overhead = on_s / off_s if off_s > 0 else float("inf")
+    print(f"\nrecorder overhead: {len(jobs)} jobs off {off_s:.3f}s "
+          f"vs on {on_s:.3f}s ({overhead:.3f}x at 1ms sampling)")
+    assert on_s <= off_s * 1.6, (
+        f"recorder added {overhead:.2f}x to the warm suite "
+        f"({off_s:.3f}s -> {on_s:.3f}s)")
+    record_perf("pipeline/recorder_overhead", {
+        "jobs": len(jobs),
+        "sample_interval_s": 0.001,
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "overhead_x": round(overhead, 3),
+        "paper_scale": paper_scale,
+    }, path=BENCH_PATH)

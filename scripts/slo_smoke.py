@@ -1,0 +1,152 @@
+"""2-shard SLO smoke test: induce a latency breach, watch the alert fire.
+
+Boots a real :class:`~repro.cluster.local.LocalShardFleet` (two
+compile-server processes) behind a :class:`ClusterGateway`, both running
+the monitoring layer on an aggressive config (sub-second sampling, short
+rolling windows, an intentionally impossible latency objective), then
+walks the alert lifecycle the monitor layer exists for:
+
+1. submit real jobs through the gateway — every compile breaches the
+   0.5 ms latency objective, so the error budget burns at 10x,
+2. poll the gateway's fleet-merged ``GET /alerts`` until a burn-rate
+   alert is *firing* (pending → firing after the for-duration dwell),
+3. verify a shard-level alert carries an exemplar trace id and that the
+   trace is renderable through the gateway's stitched ``GET /traces/<id>``,
+4. verify ``GET /metrics/history`` serves fleet-merged windowed series
+   (jobs/s over the rolling windows matches the traffic we pushed),
+5. stop submitting — the windows drain, the condition clears, and the
+   alert *resolves* after the resolve hysteresis.
+
+``--history-out`` / ``--alerts-out`` write the gateway payloads as JSON
+so CI can upload them as build artifacts next to ``SMOKE_trace.json``.
+
+Exit code 0 on success; any assertion failure is a non-zero exit for CI.
+Run from the repo root: ``PYTHONPATH=src python scripts/slo_smoke.py``.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cluster import ClusterGateway, LocalShardFleet
+from repro.server import CompileClient
+from repro.service import make_job
+from repro.workloads.generators import ghz
+
+#: One SLO no real compile can meet (jobs take milliseconds, the objective
+#: is half of one) — burn rate 1.0 / (1 - 0.9) = 10x, past the fast-burn
+#: page threshold of 8.  Everything is a plain dict: the config crosses the
+#: process boundary into the shard children.
+MONITOR = {
+    "interval_s": 0.25,
+    "windows": (5.0, 15.0),
+    "max_samples": 400,
+    "slos": [{"name": "smoke-latency", "kind": "latency",
+              "metric": "service_seconds", "threshold_s": 0.0005,
+              "target": 0.9,
+              "description": "smoke: unreachable 0.5ms objective"}],
+    "for_s": 1.0,
+    "resolve_s": 1.0,
+}
+
+
+def _poll(client: CompileClient, check, deadline_s: float, what: str):
+    """Poll merged ``/alerts`` until ``check(payload)`` or the deadline."""
+    deadline = time.monotonic() + deadline_s
+    while True:
+        payload = client.alerts(limit=50)
+        if check(payload):
+            return payload
+        assert time.monotonic() < deadline, (
+            f"{what} not observed within {deadline_s}s: "
+            f"{json.dumps(payload, default=str)[:2000]}")
+        time.sleep(0.25)
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history-out", metavar="PATH", default=None,
+                        help="write the gateway /metrics/history as JSON")
+    parser.add_argument("--alerts-out", metavar="PATH", default=None,
+                        help="write the gateway merged /alerts as JSON")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    with LocalShardFleet(shards=2, workers=2, monitor=MONITOR) as fleet:
+        print(f"[slo-smoke] shards up: {fleet.urls}")
+        with ClusterGateway(fleet.urls, health_interval=0.5,
+                            monitor=MONITOR) as gateway:
+            client = CompileClient(gateway.url, retries=3)
+
+            # 1. + 2. submit until the breach pages (for_s dwell included).
+            jobs_sent = 0
+            deadline = time.monotonic() + 60.0
+            alerts = None
+            while alerts is None:
+                job = make_job(ghz(3 + jobs_sent % 3), "ibm_q20_tokyo",
+                               "codar", seed=jobs_sent)
+                outcome = client.compile(job, timeout=120.0)
+                assert outcome.ok, outcome.error
+                jobs_sent += 1
+                payload = client.alerts(limit=50)
+                if payload["firing"] >= 1:
+                    alerts = payload
+                assert time.monotonic() < deadline, (
+                    f"no firing alert after {jobs_sent} breaching jobs: "
+                    f"{json.dumps(payload, default=str)[:2000]}")
+            firing = [row for row in alerts["active"]
+                      if row["state"] == "firing"]
+            print(f"[slo-smoke] alert firing after {jobs_sent} jobs: "
+                  f"{firing[0]['rule']} "
+                  f"(burn {firing[0]['burn_rates']}, "
+                  f"shard={firing[0].get('shard', 'gateway')})")
+
+            # 3. a shard alert carries an exemplar linking into the tracer.
+            exemplars = [row["exemplar_trace_id"]
+                         for row in alerts["active"] + alerts["events"]
+                         if row.get("exemplar_trace_id")]
+            assert exemplars, "no alert carried an exemplar trace id"
+            stitched = client.trace(exemplars[0])
+            assert stitched.get("spans"), stitched
+            print(f"[slo-smoke] exemplar trace {exemplars[0][:12]}... "
+                  f"renders with {len(stitched['spans'])} spans")
+
+            # 4. the fleet-merged history has windowed series.
+            history = client.metrics_history()
+            assert history["monitor"] == "gateway"
+            view = next((view for view in history["windows"].values()
+                         if view is not None), None)
+            assert view is not None, history
+            assert view["counters"]["completed"] >= 1, view
+            assert view["gauges"]["shards_total"] == 2.0, view
+            print(f"[slo-smoke] merged history: "
+                  f"{view['counters']['completed']:.0f} jobs in the "
+                  f"longest window, {history['samples']} samples ringed")
+            if args.history_out:
+                with open(args.history_out, "w", encoding="utf-8") as sink:
+                    json.dump(history, sink, indent=2, sort_keys=True)
+                print(f"[slo-smoke] history written to {args.history_out}")
+
+            # 5. stop submitting; the windows drain and the alert resolves.
+            resolved = _poll(
+                client,
+                lambda payload: payload["firing"] == 0 and any(
+                    event["state"] == "resolved"
+                    for event in payload["events"]),
+                deadline_s=60.0, what="alert resolution")
+            events = [event["state"] for event in resolved["events"]]
+            assert "firing" in events and "resolved" in events, events
+            print(f"[slo-smoke] alert resolved "
+                  f"({resolved['shards_polled']} shards polled, "
+                  f"{len(resolved['events'])} lifecycle events)")
+            if args.alerts_out:
+                with open(args.alerts_out, "w", encoding="utf-8") as sink:
+                    json.dump(resolved, sink, indent=2, sort_keys=True)
+                print(f"[slo-smoke] alerts written to {args.alerts_out}")
+    print(f"[slo-smoke] PASS in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,13 @@ Usage (``python -m repro.cli <command> ...``):
   Fetch one request trace (by trace id, job key, or a >= 8-char key prefix)
   from a server or gateway and print the span tree with the critical path
   starred; against a gateway the trace is stitched across every shard.
+* ``top --url URL [--interval S] [--once]``
+  Live ANSI terminal dashboard over a server or gateway: throughput, queue
+  depth, rolling-window percentiles as sparklines, error-budget bars and
+  firing alerts, refreshed in place.
+* ``slo --url URL`` / ``alerts --url URL``
+  One-shot JSON views of the SLO evaluation and the alert state; ``alerts``
+  exits 1 while anything is firing, for scripting.
 * ``devices``
   List the registered device models and their coupling statistics.
 * ``routers``
@@ -408,6 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Cap the memory tier even with a disk cache: the server must stay flat.
     cache = (ResultCache(args.cache_dir, max_entries=1024)
              if args.cache_dir else None)
+    monitor = (False if args.no_monitor
+               else {"interval_s": args.monitor_interval})
     server = CompileServer(host=args.host, port=args.port,
                            workers=args.server_workers, cache=cache,
                            max_depth=args.max_depth,
@@ -415,7 +424,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            verbose=args.verbose,
                            slow_request_s=args.slow_request_s,
                            profile_slow_s=args.profile_slow_s,
-                           trace_max_spans=args.trace_spans)
+                           trace_max_spans=args.trace_spans,
+                           monitor=monitor)
     server.start()
     print(f"# serving on {server.url} "
           f"({args.server_workers} workers, "
@@ -423,7 +433,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"cache={'disk:' + args.cache_dir if args.cache_dir else 'memory'})",
           file=sys.stderr)
     print("# endpoints: POST /jobs, GET /jobs/<key>, GET /results/<key>, "
-          "GET /metrics, GET /healthz, GET /traces[/<id>]", file=sys.stderr)
+          "GET /metrics[/history], GET /slo, GET /alerts, GET /healthz, "
+          "GET /traces[/<id>]", file=sys.stderr)
 
     def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
         raise KeyboardInterrupt
@@ -445,10 +456,13 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
 
     if args.verbose:
         configure(level="debug")
+    monitor = (False if args.no_monitor
+               else {"interval_s": args.monitor_interval})
     fleet = LocalShardFleet(shards=args.shards, host=args.host,
                             workers=args.server_workers,
                             max_depth=args.max_depth,
-                            job_timeout=args.job_timeout)
+                            job_timeout=args.job_timeout,
+                            monitor=monitor)
     try:
         urls = fleet.start()
     except (OSError, TimeoutError) as exc:
@@ -460,7 +474,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         gateway = ClusterGateway(urls, host=args.host, port=args.port,
                                  mode=args.mode,
                                  health_interval=args.health_interval,
-                                 verbose=args.verbose)
+                                 verbose=args.verbose, monitor=monitor)
         gateway.start()
     except OSError as exc:  # e.g. the gateway port is already taken
         print(f"error: could not start the gateway: {exc}", file=sys.stderr)
@@ -472,8 +486,8 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
           f"{args.mode} placement, {args.server_workers} workers/shard)",
           file=sys.stderr)
     print("# endpoints: POST /jobs, POST /portfolio, GET /jobs/<key>, "
-          "GET /results/<key>, GET /metrics, GET /healthz, "
-          "GET /traces[/<id>]", file=sys.stderr)
+          "GET /results/<key>, GET /metrics[/history], GET /slo, "
+          "GET /alerts, GET /healthz, GET /traces[/<id>]", file=sys.stderr)
 
     def _sigterm(_signum, _frame):  # SIGTERM drains gracefully, like Ctrl-C
         raise KeyboardInterrupt
@@ -619,12 +633,77 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except (OSError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    spans = payload.get("spans") or []
+    spans = (payload.get("spans") or []) if isinstance(payload, dict) else []
+    if not spans:
+        # A 200 with an empty span list (or a non-JSON body) is still "not
+        # found" to the operator: fail loudly instead of rendering nothing.
+        print(f"error: no trace found for {args.ident!r} (traces live "
+              "in a bounded ring; old ones are evicted)", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(render_trace(payload.get("trace_id", args.ident), spans))
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url)
+    try:
+        print(json.dumps(client.slo(), indent=2, sort_keys=True))
+        return 0
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url)
+    try:
+        payload = client.alerts(limit=args.limit)
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    # Firing alerts flip the exit code so scripts can gate on `repro alerts`.
+    return 1 if payload.get("firing") else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import render_dashboard
+    from repro.server.client import CompileClient, ServerError
+
+    client = CompileClient(args.url, retries=0)
+
+    def _fetch(call):
+        try:
+            return call()
+        except (ServerError, OSError, TimeoutError):
+            return None
+
+    color = False if args.no_color else (args.color or sys.stdout.isatty())
+    try:
+        while True:
+            frame = render_dashboard(
+                url=args.url,
+                health=_fetch(client.health),
+                history=_fetch(client.metrics_history),
+                slo=_fetch(client.slo),
+                alerts=_fetch(lambda: client.alerts(limit=10)),
+                color=color)
+            if args.once:
+                print(frame)
+                return 0
+            sys.stdout.write(f"\x1b[H\x1b[2J{frame}\n\n(refreshing every "
+                             f"{args.interval}s — Ctrl-C to quit)\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
@@ -852,6 +931,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "slower than this (off by default)")
     serve.add_argument("--trace-spans", type=int,
                        help="span ring-buffer capacity (default 4096)")
+    serve.add_argument("--no-monitor", action="store_true",
+                       help="disable the metrics recorder / SLO / alerting "
+                            "layer (/metrics/history, /slo, /alerts)")
+    serve.add_argument("--monitor-interval", type=float, default=5.0,
+                       help="monitor sampling period in seconds")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -877,6 +961,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="seconds between shard health probes")
     cluster_serve.add_argument("--verbose", action="store_true",
                                help="log every gateway request to stderr")
+    cluster_serve.add_argument("--no-monitor", action="store_true",
+                               help="disable monitoring on the gateway and "
+                                    "every shard")
+    cluster_serve.add_argument("--monitor-interval", type=float, default=5.0,
+                               help="monitor sampling period in seconds")
     cluster_serve.set_defaults(func=_cmd_cluster_serve)
     cluster_status = cluster_sub.add_parser(
         "status", help="gateway health: shard liveness and routing counters")
@@ -920,6 +1009,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--json", action="store_true",
                            help="print the raw span JSON instead of the tree")
     trace_cmd.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard for a server or gateway")
+    top.add_argument("--url", default="http://127.0.0.1:8642",
+                     help="server or gateway base URL")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen clear)")
+    top.add_argument("--no-color", action="store_true",
+                     help="disable ANSI colors")
+    top.add_argument("--color", action="store_true",
+                     help="force ANSI colors even when stdout is not a tty")
+    top.set_defaults(func=_cmd_top)
+
+    slo_cmd = sub.add_parser(
+        "slo", help="print a server/gateway's SLO evaluation as JSON")
+    slo_cmd.add_argument("--url", default="http://127.0.0.1:8642",
+                         help="server or gateway base URL")
+    slo_cmd.set_defaults(func=_cmd_slo)
+
+    alerts_cmd = sub.add_parser(
+        "alerts", help="print active alerts and recent transitions as JSON "
+                       "(exit 1 while any alert is firing)")
+    alerts_cmd.add_argument("--url", default="http://127.0.0.1:8642",
+                            help="server or gateway base URL")
+    alerts_cmd.add_argument("--limit", type=int, default=50,
+                            help="max transition events to include")
+    alerts_cmd.set_defaults(func=_cmd_alerts)
 
     speedup = sub.add_parser("speedup", help="run the Fig. 8 speedup sweep")
     speedup.add_argument("--full", action="store_true")

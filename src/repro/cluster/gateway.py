@@ -19,6 +19,14 @@ nothing else changes:
   histograms summed sample-by-sample (the fixed-bucket design makes shard
   histograms mergeable by adding cumulative bucket counts; p50/p95 are
   recomputed from the merged buckets).
+* ``GET /metrics/history`` / ``GET /slo`` / ``GET /alerts`` — the fleet
+  monitoring layer: the gateway runs its own
+  :class:`~repro.obs.monitor.Monitor` whose metrics source is the merged
+  shard scrape, so rolling windows, SLO budgets and burn-rate alerts are
+  computed over *fleet-level* cumulative series (merged counters difference
+  exactly like a single shard's).  ``/alerts`` additionally fans out to
+  every shard and merges their alert payloads, so shard-local alerts (which
+  carry exemplar trace ids) surface at the cluster edge.
 * ``GET /healthz`` — gateway liveness plus per-shard health.
 
 **Failover** is client-transparent: when a shard cannot be reached at all the
@@ -43,7 +51,9 @@ from urllib.parse import urlsplit
 from repro.cluster.health import HealthMonitor
 from repro.cluster.ring import ShardMember, ShardRing
 from repro.obs.logging import get_logger
+from repro.obs.monitor import Monitor, MonitorConfig
 from repro.obs.store import get_store
+from repro.obs.timeseries import sample_from_prometheus
 from repro.obs.trace import (TRACE_HEADER, TraceContext, activate,
                              current_trace, record_span, span)
 # The gateway enforces the backend's exact edge limits; importing them keeps
@@ -243,6 +253,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         elif path == "/metrics":
             self._reply(200, self.app.aggregated_metrics(),
                         content_type="text/plain; version=0.0.4")
+        elif path == "/metrics/history":
+            self._get_monitor("history")
+        elif path == "/slo":
+            self._get_monitor("slo")
+        elif path == "/alerts":
+            self._get_monitor("alerts")
         elif path == "/traces":
             self._reply(200, self.app.trace_summaries(
                 self._query_int("limit", 50)))
@@ -267,6 +283,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 except ValueError:
                     return default
         return default
+
+    def _get_monitor(self, view: str) -> None:
+        monitor = self.app.monitor
+        if monitor is None or not monitor.enabled:
+            self._error(503, "monitoring is disabled on this gateway")
+            return
+        if view == "history":
+            seconds = self._query_int("seconds", 0)
+            self._reply(200, monitor.history_payload(
+                float(seconds) if seconds > 0 else None))
+        elif view == "slo":
+            self._reply(200, monitor.slo_payload())
+        else:
+            self._reply(200, self.app.merged_alerts(
+                self._query_int("limit", 100)))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         self.app.metrics.record_request()
@@ -339,13 +370,19 @@ class ClusterGateway:
         Health-monitor knobs (see :class:`HealthMonitor`).
     proxy_timeout:
         Default socket timeout for proxied requests without a blocking wait.
+    monitor:
+        Fleet monitoring configuration (``None`` = defaults, ``False`` =
+        disabled, dict / :class:`~repro.obs.monitor.MonitorConfig` =
+        overrides).  The monitor's metrics source is the merged shard
+        scrape, so its windows/SLOs/alerts describe the whole fleet.
     """
 
     def __init__(self, shards, host: str = "127.0.0.1", port: int = 0, *,
                  mode: str = "rendezvous", replicas: int = 64,
                  health_interval: float = 1.0, probe_timeout: float = 2.0,
                  fail_threshold: int = 2, ok_threshold: int = 1,
-                 proxy_timeout: float = 30.0, verbose: bool = False):
+                 proxy_timeout: float = 30.0, verbose: bool = False,
+                 monitor: MonitorConfig | dict | bool | None = None):
         self.verbose = verbose
         self.proxy_timeout = proxy_timeout
         self.ring = ShardRing(shards, mode=mode, replicas=replicas)
@@ -370,6 +407,7 @@ class ClusterGateway:
         self._httpd.app = self  # type: ignore[attr-defined]
         self._http_thread: threading.Thread | None = None
         self._started_at: float | None = None
+        self.monitor = Monitor(self._fleet_sample, monitor, name="gateway")
 
     # ------------------------------------------------------------------ #
     @property
@@ -397,6 +435,7 @@ class ClusterGateway:
             "readmissions": self.health_monitor.readmissions,
             "gateway": self.metrics.snapshot(),
             "traces": get_store().stats(),
+            "monitor": self.monitor.status(),
         }
 
     # ------------------------------------------------------------------ #
@@ -578,20 +617,17 @@ class ClusterGateway:
                     exc.headers.get("Content-Type", "application/json"))
 
     # ------------------------------------------------------------------ #
-    def aggregated_metrics(self, prefix: str = "repro_cluster") -> str:
-        """Cluster-wide Prometheus text: gateway counters + merged shards.
+    def _scrape_merged(self) -> tuple[dict[str, float], int, int]:
+        """Scrape every shard's ``/metrics`` and sum samples by name.
 
-        Every shard sample (counters, labelled counters, histogram buckets /
-        sums / counts, gauges) is summed by its full labelled name — valid
-        because every shard uses the same fixed histogram bucket bounds —
-        then re-exported under the ``repro_cluster`` prefix.  Histogram
-        p50/p95 gauges are recomputed from the merged cumulative buckets
-        instead of being (meaninglessly) summed.  A shard that cannot be
-        scraped (dead or ejected) contributes its last-known samples, so
-        cluster counters stay monotone across shard outages.
+        Returns ``(merged, polled, contributing)``: ``polled`` shards
+        answered this scrape, ``contributing`` shards added samples at all
+        (a dead shard contributes its last-known samples, so cluster
+        counters stay monotone across shard outages).
         """
         merged: dict[str, float] = {}
         polled = 0
+        contributing = 0
         for member in self.ring.members:
             samples: list[tuple[str, float]] | None = None
             try:
@@ -600,8 +636,7 @@ class ClusterGateway:
                 _, text, _ = self._request(
                     member, "GET", "/metrics",
                     timeout=self.health_monitor.timeout)
-            except (ConnectionError, TimeoutError,
-                    http.client.HTTPException, urllib.error.URLError):
+            except _TRANSPORT_ERRORS:
                 if member.alive:
                     self.health_monitor.report_failure(member)
             else:
@@ -615,8 +650,89 @@ class ClusterGateway:
             if samples is None:
                 with self._samples_lock:
                     samples = self._last_samples.get(member.name, [])
+            if samples:
+                contributing += 1
             for name, value in samples:
                 merged[name] = merged.get(name, 0.0) + value
+        return merged, polled, contributing
+
+    def _fleet_sample(self) -> dict:
+        """The gateway monitor's metrics source: one fleet-level sample.
+
+        Merged shard counters/histograms are still *cumulative* series (sums
+        of per-shard cumulative values), so the recorder differences them
+        exactly as it would a single shard's.  Per-shard utilization gauges
+        (sums of fractions) are averaged over the contributing shards; fleet
+        topology and the gateway's own counters ride along.
+        """
+        merged, polled, contributing = self._scrape_merged()
+        sample = sample_from_prometheus(merged, prefix="repro_server")
+        gauges = sample["gauges"]
+        for name in ("worker_utilization", "queue_saturation",
+                     "trace_span_ring_utilization"):
+            if name in gauges:
+                gauges[name] = round(gauges[name] / max(1, contributing), 4)
+        gauges["shards_total"] = float(len(self.ring))
+        gauges["shards_alive"] = float(len(self.ring.alive_members()))
+        gauges["shards_polled"] = float(polled)
+        snapshot = self.metrics.snapshot()
+        sample["counters"]["gateway_failovers"] = float(snapshot["failovers"])
+        sample["counters"]["gateway_unrouted"] = float(snapshot["unrouted"])
+        return sample
+
+    def merged_alerts(self, limit: int | None = None) -> dict:
+        """Fleet ``GET /alerts``: gateway-level alerts + every shard's.
+
+        The gateway's own burn-rate alerts watch the merged series; shard
+        payloads are fanned in with a ``shard`` tag on every active alert
+        and event (shard events carry the exemplar trace ids, which the
+        gateway's stitched ``/traces/<id>`` can render).
+        """
+        payload = self.monitor.alerts_payload(limit)
+        payload["shards_polled"] = 0
+        for member in self.ring.members:
+            try:
+                status, body, _ = self._request(
+                    member, "GET", f"/alerts?limit={limit or 100}",
+                    timeout=self.health_monitor.timeout)
+            except _TRANSPORT_ERRORS:
+                continue
+            if status != 200:
+                continue
+            try:
+                shard_payload = json.loads(body.decode("utf-8",
+                                                       errors="replace"))
+            except ValueError:
+                continue
+            payload["shards_polled"] += 1
+            for row in shard_payload.get("active") or []:
+                row["shard"] = member.name
+                payload["active"].append(row)
+            for event in shard_payload.get("events") or []:
+                event["shard"] = member.name
+                payload["events"].append(event)
+            payload["firing"] += int(shard_payload.get("firing", 0))
+        payload["active"].sort(key=lambda row: row["state"] != "firing")
+        payload["events"].sort(key=lambda event: event.get("at", 0.0),
+                               reverse=True)
+        if limit is not None:
+            payload["events"] = payload["events"][:limit]
+        return payload
+
+    # ------------------------------------------------------------------ #
+    def aggregated_metrics(self, prefix: str = "repro_cluster") -> str:
+        """Cluster-wide Prometheus text: gateway counters + merged shards.
+
+        Every shard sample (counters, labelled counters, histogram buckets /
+        sums / counts, gauges) is summed by its full labelled name — valid
+        because every shard uses the same fixed histogram bucket bounds —
+        then re-exported under the ``repro_cluster`` prefix.  Histogram
+        p50/p95 gauges are recomputed from the merged cumulative buckets
+        instead of being (meaninglessly) summed.  A shard that cannot be
+        scraped (dead or ejected) contributes its last-known samples, so
+        cluster counters stay monotone across shard outages.
+        """
+        merged, polled, _ = self._scrape_merged()
         lines = self.metrics.to_prometheus(self.ring, prefix)
         lines.append(f"# TYPE {prefix}_shards_polled gauge")
         lines.append(f"{prefix}_shards_polled {polled}")
@@ -641,9 +757,11 @@ class ClusterGateway:
             daemon=True, name="repro-cluster-gateway")
         self._http_thread.start()
         self._started_at = time.monotonic()
+        self.monitor.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
+        self.monitor.stop()
         self.health_monitor.stop()
         self._httpd.shutdown()
         self._httpd.server_close()

@@ -20,7 +20,8 @@ import time
 
 def _shard_main(connection, host: str, workers: int,
                 max_depth: int | None, job_timeout: float | None,
-                cache_dir: str | None) -> None:  # pragma: no cover — child
+                cache_dir: str | None,
+                monitor: dict | bool | None) -> None:  # pragma: no cover — child
     """Child-process entry: run one CompileServer until terminated."""
     from repro.server.http import CompileServer
     from repro.service.cache import ResultCache
@@ -28,7 +29,8 @@ def _shard_main(connection, host: str, workers: int,
     cache = (ResultCache(cache_dir, max_entries=1024)
              if cache_dir else None)
     server = CompileServer(host=host, port=0, workers=workers, cache=cache,
-                           max_depth=max_depth, job_timeout=job_timeout)
+                           max_depth=max_depth, job_timeout=job_timeout,
+                           monitor=monitor)
     server.start()
     connection.send(server.url)
     connection.close()
@@ -57,13 +59,18 @@ class LocalShardFleet:
         ``shards``); ``None`` keeps every shard on its in-memory LRU.
         Shards must *not* share one directory-backed cache — the point of
         sharding is disjoint working sets.
+    monitor:
+        Monitoring config forwarded to every shard's CompileServer.  Must be
+        picklable (a plain dict of overrides, ``False`` to disable, or
+        ``None`` for defaults) — it crosses the process boundary.
     """
 
     def __init__(self, shards: int = 2, host: str = "127.0.0.1", *,
                  workers: int = 2, max_depth: int | None = 256,
                  job_timeout: float | None = None,
                  cache_dirs: list[str] | None = None,
-                 start_timeout: float = 30.0):
+                 start_timeout: float = 30.0,
+                 monitor: dict | bool | None = None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if cache_dirs is not None and len(cache_dirs) != shards:
@@ -75,6 +82,7 @@ class LocalShardFleet:
         self.job_timeout = job_timeout
         self.cache_dirs = cache_dirs
         self.start_timeout = start_timeout
+        self.monitor = monitor
         self._processes: list[multiprocessing.Process] = []
         self.urls: list[str] = []
 
@@ -91,7 +99,7 @@ class LocalShardFleet:
             process = context.Process(
                 target=_shard_main,
                 args=(child_end, self.host, self.workers, self.max_depth,
-                      self.job_timeout, cache_dir),
+                      self.job_timeout, cache_dir, self.monitor),
                 name=f"repro-shard-{index}", daemon=True)
             process.start()
             child_end.close()

@@ -1,0 +1,288 @@
+"""Burn-rate alert rules with a pending → firing → resolved state machine.
+
+A :class:`BurnRateRule` pages when an SLO's error budget burns too fast in
+**both** a short and a long window (multi-window agreement: the long window
+proves the problem is sustained, the short window proves it is still
+happening, so a recovered incident stops paging immediately).  The
+:class:`AlertManager` adds for-duration hysteresis on top: a rule whose
+condition holds enters ``pending`` and only ``firing`` after ``for_s``
+continuous seconds, and a firing rule only resolves after ``resolve_s``
+continuously clean — a flapping signal that never holds for the full
+duration never pages at all.
+
+Transitions emit structured events stamped with an exemplar trace id pulled
+from the offending histogram bucket, so an alert links straight into
+``repro trace <id>``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.obs.logging import get_logger
+
+#: Rule states (``resolved`` is an event, not a state — a resolved rule is
+#: back to ``ok``).
+OK, PENDING, FIRING = "ok", "pending", "firing"
+
+_LOG = get_logger("obs.alerts")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when ``slo`` burns faster than ``threshold`` in both windows.
+
+    Parameters
+    ----------
+    name:
+        Stable rule identifier (appears in events and ``GET /alerts``).
+    slo:
+        Name of the :class:`~repro.obs.slo.SLOSpec` this rule watches.
+    short / long:
+        Window labels (as produced by
+        :func:`~repro.obs.timeseries.window_label`) that must *both* exceed
+        ``threshold`` for the condition to hold.
+    threshold:
+        Minimum burn rate; 1.0 = budget draining at exactly the sustainable
+        pace, higher = faster.
+    for_s:
+        Continuous seconds the condition must hold before firing.
+    resolve_s:
+        Continuous clean seconds before a firing rule resolves.
+    severity:
+        Free-form label carried on events (``"page"`` / ``"ticket"`` ...).
+    """
+
+    name: str
+    slo: str
+    short: str = "1m"
+    long: str = "5m"
+    threshold: float = 2.0
+    for_s: float = 30.0
+    resolve_s: float = 30.0
+    severity: str = "page"
+
+    def __post_init__(self):
+        if self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if self.for_s < 0 or self.resolve_s < 0:
+            raise ValueError("for_s and resolve_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "slo": self.slo, "short": self.short,
+                "long": self.long, "threshold": self.threshold,
+                "for_s": self.for_s, "resolve_s": self.resolve_s,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BurnRateRule":
+        return cls(name=data["name"], slo=data["slo"],
+                   short=data.get("short", "1m"), long=data.get("long", "5m"),
+                   threshold=float(data.get("threshold", 2.0)),
+                   for_s=float(data.get("for_s", 30.0)),
+                   resolve_s=float(data.get("resolve_s", 30.0)),
+                   severity=data.get("severity", "page"))
+
+    def condition(self, slo_result: Mapping | None) -> tuple[bool, dict]:
+        """Whether both windows agree the budget is burning too fast.
+
+        Returns ``(holds, burn_rates)`` where ``burn_rates`` maps window
+        label → observed burn rate (absent windows are missing data, which
+        never counts as a breach).
+        """
+        if slo_result is None:
+            return False, {}
+        windows = slo_result.get("windows") or {}
+        rates = {}
+        for label in (self.short, self.long):
+            result = windows.get(label)
+            if result is None:
+                return False, rates
+            rates[label] = result["burn_rate"]
+        holds = all(rate >= self.threshold for rate in rates.values())
+        return holds, rates
+
+
+class _RuleState:
+    __slots__ = ("state", "pending_since", "firing_since", "clear_since",
+                 "exemplar", "burn_rates")
+
+    def __init__(self):
+        self.state = OK
+        self.pending_since: float | None = None
+        self.firing_since: float | None = None
+        self.clear_since: float | None = None
+        self.exemplar: str | None = None
+        self.burn_rates: dict = {}
+
+
+class AlertManager:
+    """Evaluate burn-rate rules against SLO results; track alert lifecycle.
+
+    Parameters
+    ----------
+    rules:
+        The :class:`BurnRateRule` set to evaluate each tick.
+    clock:
+        Injectable wall clock (tests drive transitions without sleeping).
+    max_events:
+        Bounded ring of emitted transition events.
+    exemplar_source:
+        Optional ``callable(rule) -> trace_id | None`` consulted when a rule
+        starts firing, so the event links to a concrete offending job.
+    """
+
+    def __init__(self, rules: Iterable[BurnRateRule], *,
+                 clock: Callable[[], float] = time.time,
+                 max_events: int = 256,
+                 exemplar_source: Callable[["BurnRateRule"], str | None]
+                 | None = None):
+        self.rules: Sequence[BurnRateRule] = tuple(rules)
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError("rule names must be unique")
+        self.clock = clock
+        self.exemplar_source = exemplar_source
+        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self._events: deque[dict] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, slo_results: Mapping[str, Mapping],
+                 now: float | None = None) -> list[dict]:
+        """One tick: advance every rule's state machine, return new events.
+
+        ``slo_results`` maps SLO name → the output of
+        :func:`~repro.obs.slo.evaluate_slo`.
+        """
+        at = self.clock() if now is None else now
+        emitted = []
+        with self._lock:
+            for rule in self.rules:
+                state = self._states[rule.name]
+                holds, rates = rule.condition(slo_results.get(rule.slo))
+                state.burn_rates = rates
+                event = self._advance(rule, state, holds, at,
+                                      slo_results.get(rule.slo))
+                if event is not None:
+                    self._events.append(event)
+                    emitted.append(event)
+        for event in emitted:
+            _LOG.warning("alert_transition", rule=event["rule"],
+                         state=event["state"], previous=event["previous"],
+                         slo=event["slo"],
+                         exemplar_trace_id=event.get("exemplar_trace_id"))
+        return emitted
+
+    def _advance(self, rule: BurnRateRule, state: _RuleState, holds: bool,
+                 at: float, slo_result: Mapping | None) -> dict | None:
+        previous = state.state
+        if state.state == OK:
+            if not holds:
+                return None
+            state.pending_since = at
+            # for_s == 0 skips the pending dwell entirely.
+            if rule.for_s > 0:
+                state.state = PENDING
+                return self._event(rule, state, previous, at)
+            return self._fire(rule, state, previous, at)
+        if state.state == PENDING:
+            if not holds:
+                # Any clean tick during the dwell resets — this is the
+                # hysteresis that keeps a flapping signal from paging.
+                state.state = OK
+                state.pending_since = None
+                return self._event(rule, state, previous, at)
+            if at - (state.pending_since or at) >= rule.for_s:
+                return self._fire(rule, state, previous, at)
+            return None
+        # FIRING
+        if holds:
+            state.clear_since = None
+            return None
+        if state.clear_since is None:
+            state.clear_since = at
+        if at - state.clear_since >= rule.resolve_s:
+            state.state = OK
+            state.pending_since = state.firing_since = None
+            state.clear_since = None
+            event = self._event(rule, state, previous, at, resolved=True)
+            state.exemplar = None
+            return event
+        return None
+
+    def _fire(self, rule: BurnRateRule, state: _RuleState, previous: str,
+              at: float) -> dict:
+        state.state = FIRING
+        state.firing_since = at
+        state.clear_since = None
+        if self.exemplar_source is not None:
+            try:
+                state.exemplar = self.exemplar_source(rule)
+            except Exception:  # noqa: BLE001 — exemplars are best-effort
+                state.exemplar = None
+        return self._event(rule, state, previous, at)
+
+    def _event(self, rule: BurnRateRule, state: _RuleState, previous: str,
+               at: float, resolved: bool = False) -> dict:
+        label = "resolved" if resolved else state.state
+        event = {
+            "at": round(at, 3),
+            "rule": rule.name,
+            "slo": rule.slo,
+            "severity": rule.severity,
+            "state": label,
+            "previous": previous,
+            "burn_rates": dict(state.burn_rates),
+            "threshold": rule.threshold,
+            "message": (f"{rule.name}: {previous} -> {label} "
+                        f"(burn {state.burn_rates or '{}'} "
+                        f"vs threshold {rule.threshold})"),
+        }
+        if state.exemplar is not None:
+            event["exemplar_trace_id"] = state.exemplar
+        return event
+
+    # ------------------------------------------------------------------ #
+    def active(self) -> list[dict]:
+        """Current non-ok rules (pending and firing), firing first."""
+        with self._lock:
+            rows = []
+            for rule in self.rules:
+                state = self._states[rule.name]
+                if state.state == OK:
+                    continue
+                row = {"rule": rule.name, "slo": rule.slo,
+                       "severity": rule.severity, "state": state.state,
+                       "since": round(state.firing_since
+                                      if state.state == FIRING
+                                      else (state.pending_since or 0.0), 3),
+                       "burn_rates": dict(state.burn_rates),
+                       "threshold": rule.threshold}
+                if state.exemplar is not None:
+                    row["exemplar_trace_id"] = state.exemplar
+                rows.append(row)
+        rows.sort(key=lambda row: row["state"] != FIRING)
+        return rows
+
+    def firing_count(self) -> int:
+        with self._lock:
+            return sum(1 for state in self._states.values()
+                       if state.state == FIRING)
+
+    def state_of(self, rule_name: str) -> str:
+        with self._lock:
+            return self._states[rule_name].state
+
+    def events(self, limit: int | None = None) -> list[dict]:
+        """Transition events, newest first."""
+        with self._lock:
+            rows = list(self._events)
+        rows.reverse()
+        if limit is not None:
+            rows = rows[:limit]
+        return rows

@@ -1,0 +1,159 @@
+"""Declarative SLOs with error-budget accounting over windowed views.
+
+An :class:`SLOSpec` states an objective over the windowed views produced by
+:class:`~repro.obs.timeseries.MetricsRecorder`:
+
+* ``kind="latency"`` — at least ``target`` of jobs complete under
+  ``threshold_s`` (judged against the windowed histogram's cumulative
+  buckets, the classic "good events / total events" formulation).
+* ``kind="availability"`` — at least ``target`` of completed jobs succeed
+  (``failed`` counts as bad).
+
+The unit of alerting is the **burn rate**: ``bad_fraction / (1 - target)``.
+A burn rate of 1 means the error budget drains exactly at the sustainable
+pace; 14.4 means a 30-day budget is gone in ~2 days.  Burn rates normalise
+objectives of different strictness onto one scale, which is what lets
+:mod:`repro.obs.alerts` apply the same multi-window thresholds to every SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+_KINDS = ("latency", "availability")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: "``target`` of events are good", with what "good" means.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier used in alert rules and payloads.
+    kind:
+        ``"latency"`` (good = under ``threshold_s``) or ``"availability"``
+        (good = did not fail).
+    metric:
+        Histogram name judged by a latency objective (``"service_seconds"``
+        or ``"wait_seconds"``); ignored for availability.
+    threshold_s:
+        Latency objective's "good" bound in seconds; ignored for
+        availability.
+    target:
+        The objective, in ``(0, 1)`` — e.g. ``0.95`` = 95% of jobs good.
+    description:
+        Human-readable summary surfaced in ``GET /slo``.
+    """
+
+    name: str
+    kind: str = "latency"
+    metric: str = "service_seconds"
+    threshold_s: float = 2.0
+    target: float = 0.95
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.threshold_s <= 0:
+            raise ValueError("threshold_s must be > 0 for a latency SLO")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+    def to_dict(self) -> dict:
+        record = {"name": self.name, "kind": self.kind, "target": self.target}
+        if self.kind == "latency":
+            record["metric"] = self.metric
+            record["threshold_s"] = self.threshold_s
+        if self.description:
+            record["description"] = self.description
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SLOSpec":
+        return cls(name=data["name"],
+                   kind=data.get("kind", "latency"),
+                   metric=data.get("metric", "service_seconds"),
+                   threshold_s=float(data.get("threshold_s", 2.0)),
+                   target=float(data.get("target", 0.95)),
+                   description=data.get("description", ""))
+
+
+def evaluate_window(spec: SLOSpec, view: Mapping | None) -> dict | None:
+    """Score one windowed view against ``spec``.
+
+    Returns ``{"total", "bad", "bad_fraction", "burn_rate"}`` or ``None``
+    when the window has no data (too early, or the metric is absent).
+
+    For a latency SLO the good count is the windowed histogram's cumulative
+    count at the smallest bucket bound >= ``threshold_s``; observations past
+    the finite buckets are pessimistically bad (we can't prove them fast).
+    """
+    if view is None:
+        return None
+    if spec.kind == "availability":
+        counters = view.get("counters") or {}
+        total = float(counters.get("completed", 0.0))
+        bad = float(counters.get("failed", 0.0))
+    else:
+        histogram = (view.get("histograms") or {}).get(spec.metric)
+        if histogram is None:
+            return None
+        total = float(histogram.get("count", 0.0))
+        # Windowed bucket values are differences of cumulative counts, so
+        # they are themselves cumulative: good = the count at the smallest
+        # bound covering the threshold.  A threshold above every finite
+        # bound credits everything that landed in a finite bucket; only the
+        # overflow is (pessimistically) bad.
+        buckets = list(histogram.get("buckets") or ())
+        good = buckets[-1][1] if buckets else 0.0
+        for bound, cumulative in buckets:
+            if bound >= spec.threshold_s:
+                good = cumulative
+                break
+        bad = max(0.0, total - good)
+    if total <= 0:
+        return None
+    bad_fraction = bad / total
+    return {"total": total, "bad": bad,
+            "bad_fraction": round(bad_fraction, 6),
+            "burn_rate": round(bad_fraction / spec.budget, 4)}
+
+
+def evaluate_slo(spec: SLOSpec,
+                 windows_view: Mapping[str, Mapping | None]) -> dict:
+    """Score every rolling window and summarise the error budget.
+
+    Budget consumption is reported against the *longest* window with data —
+    the steadiest estimate of how much tolerance remains.
+    """
+    windows = {label: evaluate_window(spec, view)
+               for label, view in windows_view.items()}
+    consumed = 0.0
+    budget_window = None
+    for label, result in windows.items():  # insertion order: short → long
+        if result is not None:
+            budget_window = label
+            consumed = min(1.0, result["bad_fraction"] / spec.budget)
+    compliant = all(result is None or result["bad_fraction"] <= spec.budget
+                    for result in windows.values())
+    return {
+        "spec": spec.to_dict(),
+        "windows": windows,
+        "budget": {
+            "window": budget_window,
+            "consumed_fraction": round(consumed, 6),
+            "remaining_fraction": round(1.0 - consumed, 6),
+        },
+        "compliant": compliant,
+    }
+
+
+__all__ = ["SLOSpec", "evaluate_window", "evaluate_slo"]

@@ -1,0 +1,345 @@
+"""Time-series metrics history: windowed views over cumulative counters.
+
+``GET /metrics`` is a point-in-time scrape of *lifetime* aggregates — after a
+day of traffic the p95 gauge is the p95 of every job since boot and says
+nothing about the last five minutes.  The :class:`MetricsRecorder` fixes the
+time axis: a background thread samples a cumulative metrics source (e.g.
+:meth:`~repro.server.metrics.ServerMetrics.history_sample`) on a fixed
+interval into a bounded per-process ring of :class:`MetricsSnapshot`, and
+**windowed** views are computed by differencing two snapshots — counters
+subtract into rates (jobs/s, error rate) and histogram *cumulative bucket
+counts* subtract into a window-local histogram from which rolling p50/p95
+are recomputed.  Differencing cumulative data means a snapshot is O(metrics)
+to take, windows of any length are free to evaluate, and merged cluster
+samples (which are themselves sums of cumulative counters) difference the
+same way.
+
+Everything takes an injectable ``clock`` so tests drive the ring with
+synthetic snapshot sequences instead of sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+#: Rolling windows surfaced by default: 1m / 5m / 30m.
+DEFAULT_WINDOWS = (60.0, 300.0, 1800.0)
+
+#: Counter names differenced into the window views (a missing counter is 0).
+_RATE_COUNTERS = ("submitted", "completed", "failed", "coalesced",
+                  "cache_hits", "rejected")
+
+
+def window_label(seconds: float) -> str:
+    """``60 -> "1m"``, ``1800 -> "30m"``, ``3600 -> "1h"``, ``45 -> "45s"``."""
+    for unit, suffix in ((3600.0, "h"), (60.0, "m")):
+        if seconds >= unit and seconds % unit == 0:
+            return f"{int(seconds // unit)}{suffix}"
+    return f"{int(seconds)}s"
+
+
+def percentile_from_cumulative(buckets: Sequence[Sequence[float]],
+                               count: float, fraction: float,
+                               total_sum: float = 0.0) -> float:
+    """Upper-bound quantile from ``(finite_bound, cumulative_count)`` pairs.
+
+    Same contract as :meth:`repro.server.metrics.Histogram.percentile`: the
+    smallest bucket bound covering ``fraction`` of ``count`` observations;
+    when every observation overflowed the finite bounds the mean
+    (``total_sum / count``) is reported instead of a meaningless top bound.
+    """
+    if count <= 0:
+        return 0.0
+    finite_covered = buckets[-1][1] if buckets else 0.0
+    if finite_covered <= 0:
+        return total_sum / count
+    target = fraction * count
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            return bound
+    return buckets[-1][0]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One cumulative sample: counters, gauge values and histogram buckets."""
+
+    t: float
+    counters: dict
+    gauges: dict
+    #: ``name -> {"buckets": [(finite_bound, cumulative), ...], "sum", "count"}``
+    histograms: dict
+
+    @classmethod
+    def capture(cls, t: float, sample: Mapping) -> "MetricsSnapshot":
+        """Normalise a raw source sample (drops non-finite bucket bounds)."""
+        histograms = {}
+        for name, data in (sample.get("histograms") or {}).items():
+            buckets = [(float(bound), float(cumulative))
+                       for bound, cumulative in (data.get("buckets") or ())
+                       if float(bound) != float("inf")]
+            histograms[name] = {"buckets": buckets,
+                                "sum": float(data.get("sum", 0.0)),
+                                "count": float(data.get("count", 0.0))}
+        return cls(t=t,
+                   counters={key: float(value) for key, value
+                             in (sample.get("counters") or {}).items()},
+                   gauges={key: float(value) for key, value
+                           in (sample.get("gauges") or {}).items()},
+                   histograms=histograms)
+
+
+def _diff_window(old: MetricsSnapshot, new: MetricsSnapshot,
+                 requested_s: float) -> dict:
+    """The windowed view between two snapshots (deltas, rates, percentiles).
+
+    Deltas are clamped at zero so a counter reset (shard restart) degrades
+    to an empty window instead of negative rates.
+    """
+    span = max(new.t - old.t, 1e-9)
+    counters = {name: max(0.0, new.counters.get(name, 0.0)
+                          - old.counters.get(name, 0.0))
+                for name in set(_RATE_COUNTERS)
+                | set(new.counters) | set(old.counters)}
+    completed = counters.get("completed", 0.0)
+    failed = counters.get("failed", 0.0)
+    histograms = {}
+    for name, data in new.histograms.items():
+        held = old.histograms.get(name)
+        if held is None or len(held["buckets"]) != len(data["buckets"]):
+            held = {"buckets": [(bound, 0.0) for bound, _ in data["buckets"]],
+                    "sum": 0.0, "count": 0.0}
+        buckets = [(bound, max(0.0, cumulative - old_cumulative))
+                   for (bound, cumulative), (_, old_cumulative)
+                   in zip(data["buckets"], held["buckets"])]
+        count = max(0.0, data["count"] - held["count"])
+        total = max(0.0, data["sum"] - held["sum"])
+        histograms[name] = {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "p50": round(percentile_from_cumulative(buckets, count, 0.50,
+                                                    total), 6),
+            "p95": round(percentile_from_cumulative(buckets, count, 0.95,
+                                                    total), 6),
+            "buckets": [[bound, delta] for bound, delta in buckets],
+        }
+    return {
+        "seconds": requested_s,
+        "span_s": round(span, 3),
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "jobs_per_s": round(completed / span, 6),
+        "submitted_per_s": round(counters.get("submitted", 0.0) / span, 6),
+        "error_rate": round(failed / completed, 6) if completed else 0.0,
+        "histograms": histograms,
+        "gauges": dict(new.gauges),
+    }
+
+
+class MetricsRecorder:
+    """Bounded ring of cumulative snapshots with windowed difference views.
+
+    Parameters
+    ----------
+    source:
+        Zero-arg callable returning a cumulative sample dict with
+        ``counters`` / ``gauges`` / ``histograms`` keys (see
+        :meth:`~repro.server.metrics.ServerMetrics.history_sample` and
+        :func:`sample_from_prometheus`).
+    interval_s:
+        Background sampling period for :meth:`start`.
+    max_samples:
+        Ring capacity (720 × 5 s ≈ one hour of history).
+    windows:
+        Rolling window lengths in seconds, shortest first.
+    clock:
+        Injectable wall clock; tests advance a fake and call
+        :meth:`sample_now` instead of running the thread.
+    """
+
+    def __init__(self, source: Callable[[], Mapping], *,
+                 interval_s: float = 5.0, max_samples: int = 720,
+                 windows: Sequence[float] = DEFAULT_WINDOWS,
+                 clock: Callable[[], float] = time.time):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2 (windows need deltas)")
+        if not windows:
+            raise ValueError("at least one rolling window is required")
+        self.source = source
+        self.interval_s = interval_s
+        self.max_samples = max_samples
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self.clock = clock
+        self._ring: deque[MetricsSnapshot] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Sampling errors swallowed by the background thread (the recorder
+        #: must never take the serving path down with it).
+        self.sample_errors = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def sample_now(self) -> MetricsSnapshot:
+        """Pull one cumulative sample from the source into the ring."""
+        snapshot = MetricsSnapshot.capture(self.clock(), self.source())
+        with self._lock:
+            self._ring.append(snapshot)
+        return snapshot
+
+    def snapshots(self, seconds: float | None = None) -> list[MetricsSnapshot]:
+        with self._lock:
+            rows = list(self._ring)
+        if seconds is not None and rows:
+            cutoff = rows[-1].t - seconds
+            rows = [row for row in rows if row.t >= cutoff]
+        return rows
+
+    # ------------------------------------------------------------------ #
+    def window(self, seconds: float) -> dict | None:
+        """The differenced view over the trailing ``seconds``.
+
+        The baseline is the *newest* snapshot at least ``seconds`` old (so
+        the view covers the full window once history is deep enough), else
+        the oldest snapshot in the ring; ``None`` until two snapshots exist.
+        """
+        with self._lock:
+            rows = list(self._ring)
+        if len(rows) < 2:
+            return None
+        newest = rows[-1]
+        cutoff = newest.t - seconds
+        baseline = rows[0]
+        for row in rows[:-1]:
+            if row.t <= cutoff:
+                baseline = row
+            else:
+                break
+        if baseline.t >= newest.t:
+            return None
+        return _diff_window(baseline, newest, seconds)
+
+    def windows_view(self) -> dict[str, dict | None]:
+        """Every configured rolling window, labelled (``None`` = no data)."""
+        return {window_label(seconds): self.window(seconds)
+                for seconds in self.windows}
+
+    def series(self, seconds: float | None = None,
+               max_points: int = 60) -> dict[str, list]:
+        """Aligned per-tick tracks for sparklines (adjacent-pair rates).
+
+        ``t`` carries the tick timestamps; rate tracks difference each
+        adjacent snapshot pair, gauge tracks read the newer snapshot.
+        """
+        rows = self.snapshots(seconds)
+        points: list[tuple] = []
+        for old, new in zip(rows, rows[1:]):
+            span = max(new.t - old.t, 1e-9)
+            completed = max(0.0, new.counters.get("completed", 0.0)
+                            - old.counters.get("completed", 0.0))
+            failed = max(0.0, new.counters.get("failed", 0.0)
+                         - old.counters.get("failed", 0.0))
+            service = new.histograms.get("service_seconds")
+            p95 = 0.0
+            if service is not None:
+                view = _diff_window(old, new, span)
+                p95 = view["histograms"]["service_seconds"]["p95"]
+            points.append((round(new.t, 3), round(completed / span, 6),
+                           round(failed / completed, 6) if completed else 0.0,
+                           p95, new.gauges.get("queue_depth", 0.0),
+                           new.gauges.get("jobs_in_flight", 0.0)))
+        if len(points) > max_points:
+            stride = -(-len(points) // max_points)  # ceil
+            points = points[::stride][-max_points:]
+        keys = ("t", "jobs_per_s", "error_rate", "service_p95_s",
+                "queue_depth", "jobs_in_flight")
+        return {key: [point[index] for point in points]
+                for index, key in enumerate(keys)}
+
+    def history_payload(self, seconds: float | None = None) -> dict:
+        """The ``GET /metrics/history`` body: windows + sparkline series."""
+        return {
+            "now": round(self.clock(), 3),
+            "interval_s": self.interval_s,
+            "samples": len(self),
+            "max_samples": self.max_samples,
+            "windows": self.windows_view(),
+            "series": self.series(seconds),
+        }
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("recorder is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-metrics-recorder")
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_now()
+            except Exception:  # noqa: BLE001 — observability must not crash
+                self.sample_errors += 1
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus-sample adapter (the cluster gateway's merged scrape)
+# --------------------------------------------------------------------------- #
+_HISTOGRAM_NAMES = (("job_wait_seconds", "wait_seconds"),
+                    ("job_service_seconds", "service_seconds"))
+_NON_GAUGE_SUFFIXES = ("_total", "_sum", "_count", "_p50", "_p95")
+
+
+def sample_from_prometheus(samples: Mapping[str, float],
+                           prefix: str = "repro_server") -> dict:
+    """Build a recorder sample from parsed Prometheus samples.
+
+    The inverse of :meth:`ServerMetrics.to_prometheus` for the subset the
+    recorder consumes — this is how the gateway's merged shard samples
+    (cumulative sums across the fleet) become a fleet-level time series.
+    """
+    counters = {name: samples.get(f"{prefix}_jobs_{name}_total", 0.0)
+                for name in _RATE_COUNTERS}
+    histograms = {}
+    for metric, key in _HISTOGRAM_NAMES:
+        bucket_prefix = f'{prefix}_{metric}_bucket{{le="'
+        buckets = []
+        for name, value in samples.items():
+            if name.startswith(bucket_prefix):
+                bound = name[len(bucket_prefix):].rstrip('"}')
+                if bound != "+Inf":
+                    buckets.append((float(bound), value))
+        buckets.sort()
+        histograms[key] = {"buckets": buckets,
+                           "sum": samples.get(f"{prefix}_{metric}_sum", 0.0),
+                           "count": samples.get(f"{prefix}_{metric}_count",
+                                                0.0)}
+    gauges = {}
+    head = f"{prefix}_"
+    for name, value in samples.items():
+        if not name.startswith(head) or "{" in name:
+            continue
+        if name.endswith(_NON_GAUGE_SUFFIXES):
+            continue
+        if any(name.startswith(f"{prefix}_{metric}") for metric, _
+               in _HISTOGRAM_NAMES):
+            continue
+        gauges[name[len(head):]] = value
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

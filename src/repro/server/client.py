@@ -268,3 +268,21 @@ class CompileClient:
         from repro.server.metrics import iter_samples
 
         return dict(iter_samples(self.metrics_text()))
+
+    # ------------------------------------------------------------------ #
+    def metrics_history(self, seconds: float | None = None) -> dict:
+        """``GET /metrics/history`` — rolling windows + sparkline series."""
+        query = f"?seconds={int(seconds)}" if seconds else ""
+        _, payload = self._request("GET", f"/metrics/history{query}")
+        return payload  # type: ignore[return-value]
+
+    def slo(self) -> dict:
+        """``GET /slo`` — every SLO scored over the rolling windows."""
+        _, payload = self._request("GET", "/slo")
+        return payload  # type: ignore[return-value]
+
+    def alerts(self, limit: int | None = None) -> dict:
+        """``GET /alerts`` — active alerts plus recent transition events."""
+        query = f"?limit={limit}" if limit is not None else ""
+        _, payload = self._request("GET", f"/alerts{query}")
+        return payload  # type: ignore[return-value]

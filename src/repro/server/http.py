@@ -21,8 +21,17 @@ Endpoints (all JSON unless noted):
   (recent ticket or result cache), ``202`` while in flight, ``404`` unknown.
 * ``GET /metrics`` — Prometheus text exposition (``text/plain``), including
   per-pipeline-stage cumulative timings
-  (``repro_server_stage_seconds_total{stage=...}``).
-* ``GET /healthz`` — liveness plus a metrics/cache/span-store snapshot.
+  (``repro_server_stage_seconds_total{stage=...}``) and process-health
+  gauges (uptime, RSS, threads, span-ring occupancy).
+* ``GET /metrics/history`` — the monitor's rolling-window views and
+  sparkline series (``?seconds=N`` trims the series); ``503`` when the
+  monitor is disabled.
+* ``GET /slo`` — every SLO scored over the rolling windows, with error
+  budgets; ``503`` when the monitor is disabled.
+* ``GET /alerts`` — active alerts plus recent transition events
+  (``?limit=N`` caps events); ``503`` when the monitor is disabled.
+* ``GET /healthz`` — liveness plus metrics/cache/span-store/process/monitor
+  snapshots.
 * ``GET /traces`` — newest-first digests of recently traced requests (ring
   buffer, strictly bounded); ``?limit=N`` caps the rows.
 * ``GET /traces/<id>`` — every stored span of one trace, by full trace id or
@@ -50,9 +59,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
 from repro.obs.logging import get_logger
+from repro.obs.monitor import Monitor, MonitorConfig
 from repro.obs.store import configure_store, get_store
 from repro.obs.trace import TRACE_HEADER, TraceContext, activate, span
-from repro.server.metrics import ServerMetrics
+from repro.server.metrics import ServerMetrics, rss_bytes, thread_count
 from repro.server.queue import JobQueue, QueueClosedError, QueueFullError
 from repro.server.scheduler import Scheduler
 from repro.service.cache import ResultCache
@@ -141,6 +151,12 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/metrics":
             self._reply(200, self.app.metrics.to_prometheus(),
                         content_type="text/plain; version=0.0.4")
+        elif path == "/metrics/history":
+            self._get_monitor("history")
+        elif path == "/slo":
+            self._get_monitor("slo")
+        elif path == "/alerts":
+            self._get_monitor("alerts")
         elif path == "/traces":
             self._get_traces()
         elif path.startswith("/traces/"):
@@ -161,6 +177,21 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError:
                     return default
         return default
+
+    def _get_monitor(self, view: str) -> None:
+        monitor = self.app.monitor
+        if monitor is None or not monitor.enabled:
+            self._error(503, "monitoring is disabled on this server")
+            return
+        if view == "history":
+            seconds = self._query_int("seconds", 0)
+            self._reply(200, monitor.history_payload(
+                float(seconds) if seconds > 0 else None))
+        elif view == "slo":
+            self._reply(200, monitor.slo_payload())
+        else:
+            self._reply(200, monitor.alerts_payload(
+                self._query_int("limit", 100)))
 
     def _get_traces(self) -> None:
         store = get_store()
@@ -295,6 +326,12 @@ class CompileServer:
     trace_max_spans:
         Resize the process-global span ring (``None`` keeps the current
         size).  Note the store is per-*process*: in-process servers share it.
+    monitor:
+        Monitoring configuration: ``None`` (default) enables the monitor
+        with default SLOs sampling every 5 s, ``False`` disables it, a dict
+        or :class:`~repro.obs.monitor.MonitorConfig` overrides (interval,
+        windows, SLO specs, alert rules).  Backs ``/metrics/history``,
+        ``/slo`` and ``/alerts``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -305,7 +342,8 @@ class CompileServer:
                  verbose: bool = False,
                  slow_request_s: float | None = 5.0,
                  profile_slow_s: float | None = None,
-                 trace_max_spans: int | None = None):
+                 trace_max_spans: int | None = None,
+                 monitor: MonitorConfig | dict | bool | None = None):
         self.verbose = verbose
         self.slow_request_s = slow_request_s
         if trace_max_spans is not None:
@@ -320,6 +358,19 @@ class CompileServer:
                                    workers=workers, job_timeout=job_timeout,
                                    metrics=self.metrics,
                                    profile_slow_s=profile_slow_s)
+        # Process-health gauges: saturation signals for `repro top` and the
+        # alert rules, next to the queue gauges the scheduler registered.
+        self.metrics.register_gauge("uptime_seconds", self._uptime)
+        self.metrics.register_gauge("process_rss_bytes", rss_bytes)
+        self.metrics.register_gauge("process_threads", thread_count)
+        self.metrics.register_gauge(
+            "trace_span_ring_spans", lambda: float(len(get_store())))
+        self.metrics.register_gauge(
+            "trace_span_ring_utilization",
+            lambda: round(len(get_store()) / get_store().max_spans, 4))
+        self.monitor = Monitor(self.metrics.history_sample, monitor,
+                               exemplar_source=self._slo_exemplar,
+                               name="server")
         # The stdlib default listen backlog (request_queue_size=5) drops —
         # and on Linux resets — connections under a client-herd burst, which
         # an upstream gateway would misread as a dead shard and fail over.
@@ -344,18 +395,34 @@ class CompileServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    def _uptime(self) -> float:
+        return (time.monotonic() - self._started_at
+                if self._started_at is not None else 0.0)
+
+    def _slo_exemplar(self, spec) -> str | None:
+        """Offending trace id for a firing latency SLO (monitor callback)."""
+        if spec.kind != "latency":
+            return None
+        return self.metrics.exemplar_for(spec.metric, spec.threshold_s)
+
     def health(self) -> dict:
-        uptime = (time.monotonic() - self._started_at
-                  if self._started_at is not None else 0.0)
+        store = get_store()
         return {
             "status": "ok",
-            "uptime_s": round(uptime, 3),
+            "uptime_s": round(self._uptime(), 3),
             "workers": self.scheduler.workers,
             "queue_depth": self.queue.depth,
             "jobs_in_flight": self.scheduler.active,
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats.as_dict(),
-            "traces": get_store().stats(),
+            "traces": store.stats(),
+            "process": {
+                "rss_bytes": rss_bytes(),
+                "threads": int(thread_count()),
+                "span_ring_utilization": round(
+                    len(store) / store.max_spans, 4),
+            },
+            "monitor": self.monitor.status(),
         }
 
     # ------------------------------------------------------------------ #
@@ -368,10 +435,12 @@ class CompileServer:
             daemon=True, name="repro-server-http")
         self._http_thread.start()
         self._started_at = time.monotonic()
+        self.monitor.start()
         return self
 
     def stop(self, graceful: bool = True, timeout: float = 30.0) -> None:
         """Stop accepting requests, then wind the scheduler down."""
+        self.monitor.stop()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._http_thread is not None:

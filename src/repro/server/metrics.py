@@ -15,6 +15,7 @@ under a lock on the hot path, mergeable, and accurate to within one bucket.
 
 from __future__ import annotations
 
+import sys
 import threading
 from bisect import bisect_left
 from typing import Callable, Iterable, Mapping, Sequence
@@ -60,6 +61,19 @@ class Histogram:
                  else float("inf"))
         return {"trace_id": trace_id, "value": round(value, 6),
                 "bucket_le": "+Inf" if bound == float("inf") else bound}
+
+    def exemplar_above(self, threshold: float) -> str | None:
+        """A trace id from the worst bucket at or beyond ``threshold``.
+
+        This is what stamps SLO-breach alerts: given the latency objective's
+        bound, return a concrete trace from the buckets that violated it
+        (worst bucket first), or ``None`` when nothing slow was traced.
+        """
+        start = bisect_left(self.bounds, threshold)
+        for index in sorted(self._exemplars, reverse=True):
+            if index >= start:
+                return self._exemplars[index][0]
+        return None
 
     # ------------------------------------------------------------------ #
     def percentile(self, fraction: float) -> float:
@@ -254,6 +268,45 @@ class ServerMetrics:
         with self._lock:
             return self._counters[name]
 
+    def exemplar_for(self, metric: str, threshold_s: float) -> str | None:
+        """An offending trace id for ``metric`` past ``threshold_s``.
+
+        The server hands this to its :class:`~repro.obs.monitor.Monitor` so
+        a firing latency alert carries a trace id the operator can render
+        with ``repro trace``.
+        """
+        with self._lock:
+            histogram = getattr(self, metric, None)
+            if not isinstance(histogram, Histogram):
+                return None
+            return histogram.exemplar_above(threshold_s)
+
+    # ------------------------------------------------------------------ #
+    def history_sample(self) -> dict:
+        """One cumulative sample for the metrics recorder.
+
+        The :class:`~repro.obs.timeseries.MetricsRecorder` source contract:
+        counters, gauge values and histogram cumulative buckets (finite
+        bounds only — overflow is reconstructible from ``count``), captured
+        in a single locked pass so the sample is internally consistent.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = {name: supplier() for name, supplier
+                      in self._gauges.items()}
+            histograms = {}
+            for name, histogram in (("wait_seconds", self.wait_seconds),
+                                    ("service_seconds", self.service_seconds)):
+                histograms[name] = {
+                    "buckets": [(bound, cumulative) for bound, cumulative
+                                in histogram.cumulative_buckets()
+                                if bound != float("inf")],
+                    "sum": histogram.sum,
+                    "count": histogram.count,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:
         with self._lock:
@@ -329,3 +382,28 @@ class ServerMetrics:
                     lines.append(f"{metric}_{label} "
                                  f"{_format_value(histogram.percentile(fraction))}")
         return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Process-health helpers (the server registers these as gauges)
+# --------------------------------------------------------------------------- #
+def rss_bytes() -> float:
+    """Peak resident set size of this process in bytes (0.0 if unknown).
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but bytes on macOS;
+    platforms without the :mod:`resource` module (Windows) report 0.0 rather
+    than failing — this is a health gauge, not a correctness input.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — non-POSIX platform
+        return 0.0
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover — reported in bytes
+        return peak
+    return peak * 1024.0
+
+
+def thread_count() -> float:
+    """Live thread count for this process."""
+    return float(threading.active_count())

@@ -174,6 +174,14 @@ class JobQueue:
             return len(self._in_flight)
 
     @property
+    def saturation(self) -> float:
+        """How full the admission bound is, in [0, 1] (0.0 when unbounded)."""
+        with self._lock:
+            if self.max_depth is None:
+                return 0.0
+            return round(self._queued / self.max_depth, 4)
+
+    @property
     def closed(self) -> bool:
         return self._closed
 

@@ -93,6 +93,12 @@ class Scheduler:
         self._active_lock = threading.Lock()
         self.metrics.register_gauge("queue_depth", lambda: self.queue.depth)
         self.metrics.register_gauge("jobs_in_flight", lambda: self.active)
+        # Saturation gauges for the monitor layer: how close the pool and
+        # the admission bound are to their ceilings, both in [0, 1].
+        self.metrics.register_gauge(
+            "worker_utilization", lambda: round(self.active / self.workers, 4))
+        self.metrics.register_gauge("queue_saturation",
+                                    lambda: self.queue.saturation)
 
     # ------------------------------------------------------------------ #
     @property
