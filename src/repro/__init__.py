@@ -31,7 +31,12 @@ qubit mapping problem on NISQ devices.  This package provides:
 * an observability layer — end-to-end request tracing (``X-Repro-Trace``)
   across client → gateway → shard → queue → pipeline with stitched
   ``GET /traces``, structured JSON logging and an opt-in sampling profiler
-  for slow jobs (:mod:`repro.obs`).
+  for slow jobs (:mod:`repro.obs`), and
+* multi-tenant fairness and observability — an ``X-Repro-Tenant`` identity
+  carried end-to-end, per-tenant quotas and deficit-round-robin dequeue,
+  tenant-labelled Prometheus metrics, per-tenant SLO burn-rate alerts and
+  an open-loop ``repro loadtest`` harness (:mod:`repro.server.tenancy`,
+  :mod:`repro.loadgen`).
 
 Quickstart
 ----------
@@ -84,7 +89,7 @@ from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
 from repro.obs import (SamplingProfiler, SpanStore, TraceContext, get_logger,
                        render_trace)
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "Circuit",

@@ -37,8 +37,12 @@ Usage (``python -m repro.cli <command> ...``):
   starred; against a gateway the trace is stitched across every shard.
 * ``top --url URL [--interval S] [--once]``
   Live ANSI terminal dashboard over a server or gateway: throughput, queue
-  depth, rolling-window percentiles as sparklines, error-budget bars and
-  firing alerts, refreshed in place.
+  depth, rolling-window percentiles as sparklines, per-tenant breakdown,
+  error-budget bars and firing alerts, refreshed in place.
+* ``loadtest [--url URL | --spawn-shards N] [--tenants a:2,b:1] ...``
+  Open-loop load test (Poisson or heavy-tailed arrivals) with a weighted
+  tenant mix; sweeps offered rates and reports the sustained jobs/s whose
+  server-side wait/service p95 held the target.
 * ``slo --url URL`` / ``alerts --url URL``
   One-shot JSON views of the SLO evaluation and the alert state; ``alerts``
   exits 1 while anything is firing, for scripting.
@@ -406,6 +410,33 @@ def _cmd_routers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_map(items, cast, flag: str) -> dict | None:
+    """Repeatable ``NAME=VALUE`` options → a dict (``None`` when unused)."""
+    if not items:
+        return None
+    table = {}
+    for item in items:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ValueError(f"{flag} expects NAME=VALUE, got {item!r}")
+        try:
+            table[name] = cast(value)
+        except ValueError:
+            raise ValueError(
+                f"{flag}: bad value {value!r} for tenant {name!r}") from None
+    return table
+
+
+def _monitor_config(args: argparse.Namespace) -> dict | bool:
+    """The shared serve/cluster-serve monitor configuration."""
+    if args.no_monitor:
+        return False
+    monitor: dict = {"interval_s": args.monitor_interval}
+    if getattr(args, "tenant_slos", False):
+        monitor["tenant_slos"] = True
+    return monitor
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.logging import configure
     from repro.server.http import CompileServer
@@ -415,8 +446,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Cap the memory tier even with a disk cache: the server must stay flat.
     cache = (ResultCache(args.cache_dir, max_entries=1024)
              if args.cache_dir else None)
-    monitor = (False if args.no_monitor
-               else {"interval_s": args.monitor_interval})
+    try:
+        tenant_weights = _parse_tenant_map(args.tenant_weight, float,
+                                           "--tenant-weight")
+        tenant_quotas = _parse_tenant_map(args.tenant_quota, int,
+                                          "--tenant-quota")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     server = CompileServer(host=args.host, port=args.port,
                            workers=args.server_workers, cache=cache,
                            max_depth=args.max_depth,
@@ -425,7 +462,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            slow_request_s=args.slow_request_s,
                            profile_slow_s=args.profile_slow_s,
                            trace_max_spans=args.trace_spans,
-                           monitor=monitor)
+                           monitor=_monitor_config(args),
+                           tenant_weights=tenant_weights,
+                           tenant_quotas=tenant_quotas,
+                           default_tenant_quota=args.default_tenant_quota)
     server.start()
     print(f"# serving on {server.url} "
           f"({args.server_workers} workers, "
@@ -456,13 +496,23 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
 
     if args.verbose:
         configure(level="debug")
-    monitor = (False if args.no_monitor
-               else {"interval_s": args.monitor_interval})
+    monitor = _monitor_config(args)
+    try:
+        tenant_weights = _parse_tenant_map(args.tenant_weight, float,
+                                           "--tenant-weight")
+        tenant_quotas = _parse_tenant_map(args.tenant_quota, int,
+                                          "--tenant-quota")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     fleet = LocalShardFleet(shards=args.shards, host=args.host,
                             workers=args.server_workers,
                             max_depth=args.max_depth,
                             job_timeout=args.job_timeout,
-                            monitor=monitor)
+                            monitor=monitor,
+                            tenant_weights=tenant_weights,
+                            tenant_quotas=tenant_quotas,
+                            default_tenant_quota=args.default_tenant_quota)
     try:
         urls = fleet.start()
     except (OSError, TimeoutError) as exc:
@@ -547,7 +597,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except (OSError, QasmError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    client = CompileClient(args.url)
+    client = CompileClient(args.url, tenant=args.tenant)
     failures = 0
     try:
         for circuit in circuits:
@@ -704,6 +754,116 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _write_loadtest_record(path: str, section: str, record: dict) -> None:
+    """Merge one loadtest record into a BENCH-style JSON artifact.
+
+    The shape matches ``benchmarks/perf_record.py`` (``schema_version`` +
+    a ``records`` map), so the CLI rehearsal and the pytest benchmark can
+    share ``BENCH_loadtest.json`` without clobbering each other's sections.
+    """
+    import os
+    import platform
+    from datetime import datetime, timezone
+
+    document = {"schema_version": 1, "records": {}}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            held = json.load(handle)
+        if isinstance(held, dict) and isinstance(held.get("records"), dict):
+            document = held
+    except (OSError, ValueError):
+        pass
+    record = dict(record)
+    record["recorded_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    record["cpu_count"] = os.cpu_count()
+    record["python"] = platform.python_version()
+    document["records"][section] = record
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.loadgen import LoadTest, TenantMix, WorkloadPool
+
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+        mix = TenantMix.parse(args.tenants, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not rates:
+        print("error: --rates needs at least one offered rate",
+              file=sys.stderr)
+        return 2
+    fleet = gateway = None
+    url = args.url
+    try:
+        if args.spawn_shards:
+            from repro.cluster import ClusterGateway, LocalShardFleet
+
+            monitor = {"interval_s": 1.0, "tenant_slos": True}
+            fleet = LocalShardFleet(shards=args.spawn_shards,
+                                    workers=args.server_workers,
+                                    max_depth=args.max_depth, monitor=monitor)
+            try:
+                urls = fleet.start()
+                gateway = ClusterGateway(urls, health_interval=0.5,
+                                         monitor=monitor)
+                gateway.start()
+            except (OSError, TimeoutError) as exc:
+                print(f"error: could not start the rehearsal fleet: {exc}",
+                      file=sys.stderr)
+                return 2
+            url = gateway.url
+            print(f"# spawned {args.spawn_shards} shards behind {url}",
+                  file=sys.stderr)
+        elif not url:
+            print("error: pass --url for a running target or --spawn-shards "
+                  "to boot one", file=sys.stderr)
+            return 2
+        try:
+            test = LoadTest(url, mix,
+                            workload=WorkloadPool(device=args.device,
+                                                  router=args.router,
+                                                  seed=args.seed),
+                            arrival=args.arrival,
+                            p95_target_s=args.p95_target, seed=args.seed)
+            report = test.run(rates, duration=args.duration)
+        except (OSError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if gateway is not None:
+            gateway.stop()
+        if fleet is not None:
+            fleet.stop()
+    print(f"open-loop loadtest against {url} "
+          f"({args.arrival} arrivals, mix {args.tenants}, "
+          f"p95 target {args.p95_target}s)")
+    for step in report["steps"]:
+        flag = "ok  " if step["met_target"] else "MISS"
+        print(f"  rate {step['offered_rate']:7.1f}/s  {flag} "
+              f"achieved {step['achieved_jobs_per_s']:7.2f}/s  "
+              f"wait p95 {step['wait_p95_s']:.3f}s  "
+              f"service p95 {step['service_p95_s']:.3f}s  "
+              f"err {step['error_rate'] * 100:.1f}%  "
+              f"late {step['late_dispatches']}")
+        for tenant, row in step["tenants"].items():
+            print(f"      {tenant:<12s} {row['jobs_per_s']:7.2f}/s  "
+                  f"p95 {row['service_p95_s']:.3f}s  "
+                  f"throttled {row['throttled']}")
+    print(f"sustained: {report['sustained_jobs_per_s']:.2f} jobs/s "
+          f"at p95 <= {args.p95_target}s")
+    if args.json:
+        _write_loadtest_record(args.json, "loadtest/rehearsal", report)
+        print(f"# wrote {args.json}", file=sys.stderr)
+    return 0 if report["sustained_jobs_per_s"] > 0 else 1
 
 
 def _cmd_speedup(args: argparse.Namespace) -> int:
@@ -936,6 +1096,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "layer (/metrics/history, /slo, /alerts)")
     serve.add_argument("--monitor-interval", type=float, default=5.0,
                        help="monitor sampling period in seconds")
+    serve.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                       help="weighted-fair dequeue share for a tenant "
+                            "(repeatable; unlisted tenants weigh 1)")
+    serve.add_argument("--tenant-quota", action="append", metavar="NAME=N",
+                       help="max queued jobs for a tenant (repeatable; "
+                            "breach => HTTP 429 for that tenant only)")
+    serve.add_argument("--default-tenant-quota", type=int,
+                       help="queued-jobs quota for tenants without an "
+                            "explicit --tenant-quota")
+    serve.add_argument("--tenant-slos", action="store_true",
+                       help="instantiate the SLO set per tenant as tenants "
+                            "appear in the traffic")
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -966,6 +1138,20 @@ def build_parser() -> argparse.ArgumentParser:
                                     "every shard")
     cluster_serve.add_argument("--monitor-interval", type=float, default=5.0,
                                help="monitor sampling period in seconds")
+    cluster_serve.add_argument("--tenant-weight", action="append",
+                               metavar="NAME=W",
+                               help="weighted-fair dequeue share per tenant "
+                                    "on every shard (repeatable)")
+    cluster_serve.add_argument("--tenant-quota", action="append",
+                               metavar="NAME=N",
+                               help="per-shard queued-jobs quota for a "
+                                    "tenant (repeatable)")
+    cluster_serve.add_argument("--default-tenant-quota", type=int,
+                               help="per-shard quota for tenants without an "
+                                    "explicit --tenant-quota")
+    cluster_serve.add_argument("--tenant-slos", action="store_true",
+                               help="instantiate SLOs per tenant on the "
+                                    "gateway and every shard")
     cluster_serve.set_defaults(func=_cmd_cluster_serve)
     cluster_status = cluster_sub.add_parser(
         "status", help="gateway health: shard liveness and routing counters")
@@ -990,6 +1176,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-job wait timeout in seconds")
     submit.add_argument("--async", action="store_true",
                         help="enqueue and print job keys instead of waiting")
+    submit.add_argument("--tenant",
+                        help="tenant identity sent as the X-Repro-Tenant "
+                             "header (default: the server's \"default\")")
     submit.set_defaults(func=_cmd_submit)
 
     status = sub.add_parser("status",
@@ -1023,6 +1212,41 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--color", action="store_true",
                      help="force ANSI colors even when stdout is not a tty")
     top.set_defaults(func=_cmd_top)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="open-loop load test against a server or gateway: "
+                         "sustained jobs/s at a fixed p95 target")
+    loadtest.add_argument("--url", default="",
+                          help="target base URL (omit with --spawn-shards)")
+    loadtest.add_argument("--spawn-shards", type=int, default=0,
+                          help="boot an ephemeral N-shard fleet + gateway "
+                               "and load-test that instead of --url")
+    loadtest.add_argument("--server-workers", type=int, default=2,
+                          help="worker threads per spawned shard")
+    loadtest.add_argument("--max-depth", type=int, default=256,
+                          help="queue admission bound per spawned shard")
+    loadtest.add_argument("--tenants", default="default:1",
+                          help="tenant mix as NAME:WEIGHT[,NAME:WEIGHT...]")
+    loadtest.add_argument("--rates", default="4,8,16",
+                          help="offered rates (jobs/s) to sweep, "
+                               "comma-separated")
+    loadtest.add_argument("--duration", type=float, default=10.0,
+                          help="seconds of offered load per rate step")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=("poisson", "heavy_tail"),
+                          help="open-loop arrival process")
+    loadtest.add_argument("--p95-target", type=float, default=2.0,
+                          help="wait+service p95 objective in seconds")
+    loadtest.add_argument("--device", default="ibm_q20_tokyo",
+                          help="device model for the generated jobs")
+    loadtest.add_argument("--router", default="codar",
+                          help="router for the generated jobs")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="schedule / mix / workload seed")
+    loadtest.add_argument("--json", metavar="FILE",
+                          help="merge the report into a BENCH-style JSON "
+                               "artifact (e.g. BENCH_loadtest.json)")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     slo_cmd = sub.add_parser(
         "slo", help="print a server/gateway's SLO evaluation as JSON")

@@ -60,6 +60,7 @@ from repro.obs.trace import (TRACE_HEADER, TraceContext, activate,
 # the two layers in lockstep when either bound changes.
 from repro.server.http import MAX_BODY_BYTES, MAX_WAIT_S
 from repro.server.metrics import iter_samples
+from repro.server.tenancy import TENANT_HEADER, normalize_tenant
 from repro.service.jobs import CompileJob, PortfolioJob
 
 #: Socket headroom added on top of a proxied blocking wait.
@@ -76,6 +77,17 @@ _TRANSPORT_ERRORS = (ConnectionError, TimeoutError,
 
 class NoShardAvailableError(RuntimeError):
     """Every shard in the ring was unreachable for a forwarded request."""
+
+
+def _is_monotone_sample(name: str) -> bool:
+    """Whether a Prometheus sample name is monotone (counter-like).
+
+    Judged on the base name before any label block so tenant-labelled
+    counters and histogram series are covered; gauges (depths, utilization,
+    percentiles) are not.
+    """
+    base = name.partition("{")[0]
+    return base.endswith(("_total", "_sum", "_count", "_bucket"))
 
 
 def _format_value(value: float) -> str:
@@ -101,6 +113,7 @@ class GatewayMetrics:
         self.unrouted = 0  # requests that exhausted every shard
         self._shard_requests: dict[str, int] = {}
         self._shard_failures: dict[str, int] = {}
+        self._tenant_requests: dict[str, int] = {}
 
     def record_request(self) -> None:
         with self._lock:
@@ -118,6 +131,12 @@ class GatewayMetrics:
         with self._lock:
             self._shard_requests[shard] = self._shard_requests.get(shard, 0) + 1
 
+    def record_tenant(self, tenant: str) -> None:
+        """One submission attributed to ``tenant`` at the cluster edge."""
+        with self._lock:
+            self._tenant_requests[tenant] = (
+                self._tenant_requests.get(tenant, 0) + 1)
+
     def record_failover(self, shard: str) -> None:
         """One failed attempt against ``shard`` that moved to the next member."""
         with self._lock:
@@ -131,7 +150,8 @@ class GatewayMetrics:
                     "bad_requests": self.bad_requests,
                     "unrouted": self.unrouted,
                     "shard_requests": dict(self._shard_requests),
-                    "shard_failures": dict(self._shard_failures)}
+                    "shard_failures": dict(self._shard_failures),
+                    "tenant_requests": dict(self._tenant_requests)}
 
     def to_prometheus(self, ring: ShardRing,
                       prefix: str = "repro_cluster") -> list[str]:
@@ -160,6 +180,12 @@ class GatewayMetrics:
             for name in sorted(self._shard_failures):
                 lines.append(f'{prefix}_shard_failures_total{{shard="{name}"}} '
                              f"{self._shard_failures[name]}")
+            lines.append(f"# TYPE {prefix}_gateway_tenant_requests_total "
+                         "counter")
+            for name in sorted(self._tenant_requests):
+                lines.append(
+                    f'{prefix}_gateway_tenant_requests_total{{tenant="{name}"}}'
+                    f" {self._tenant_requests[name]}")
         return lines
 
 
@@ -335,19 +361,27 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self.app.metrics.record_bad_request()
             self._error(400, f"bad job payload: {exc}")
             return
+        # Tenant identity travels in the header (never the payload), so the
+        # job key — and therefore shard placement and coalescing — is
+        # identical for every tenant submitting the same spec.
+        tenant = normalize_tenant(self.headers.get(TENANT_HEADER))
+        self.app.metrics.record_tenant(tenant)
         if self._span is not None:
             self._span.attributes["job_key"] = job.key
+            self._span.attributes["tenant"] = tenant
         timeout = (wait_timeout + PROXY_MARGIN_S
                    if payload.get("wait") else None)
         self._proxy(job.key, "POST", path,
-                    body=json.dumps(payload).encode("utf-8"), timeout=timeout)
+                    body=json.dumps(payload).encode("utf-8"), timeout=timeout,
+                    tenant=tenant)
 
     def _proxy(self, key: str, method: str, path: str, *,
                body: bytes | None = None,
-               timeout: float | None = None) -> None:
+               timeout: float | None = None,
+               tenant: str | None = None) -> None:
         try:
             shard, status, reply_body, content_type = self.app.forward(
-                key, method, path, body=body, timeout=timeout)
+                key, method, path, body=body, timeout=timeout, tenant=tenant)
         except NoShardAvailableError as exc:
             self._error(503, str(exc))
             return
@@ -396,6 +430,14 @@ class ClusterGateway:
         # would make rate()/increase() misfire exactly during an outage).
         self._samples_lock = threading.Lock()
         self._last_samples: dict[str, list[tuple[str, float]]] = {}
+        # Counter-reset compensation per shard: when a restarted shard
+        # reports a monotone sample *below* its last raw reading, the old
+        # reading is banked as an offset so the shard's merged contribution
+        # (raw + offset) keeps counting from where it left off.  Works
+        # per full labelled name, so tenant-labelled counters stay monotone
+        # across restarts too.
+        self._raw_counters: dict[str, dict[str, float]] = {}
+        self._counter_offsets: dict[str, dict[str, float]] = {}
         # Same backlog bump as CompileServer: the stdlib default
         # request_queue_size=5 resets connections under a client-herd burst.
         self._httpd = ThreadingHTTPServer((host, port), _GatewayHandler,
@@ -539,7 +581,8 @@ class ClusterGateway:
 
     # ------------------------------------------------------------------ #
     def forward(self, key: str, method: str, path: str, *,
-                body: bytes | None = None, timeout: float | None = None
+                body: bytes | None = None, timeout: float | None = None,
+                tenant: str | None = None
                 ) -> tuple[ShardMember, int, bytes, str]:
         """Send one request to the owning shard, failing over along the ring.
 
@@ -564,7 +607,8 @@ class ClusterGateway:
                 # inside ``_request``) nests under it in the stitched trace.
                 with span("gateway.proxy", shard=member.name) as entry:
                     status, reply_body, content_type = self._request(
-                        member, method, path, body=body, timeout=timeout)
+                        member, method, path, body=body, timeout=timeout,
+                        tenant=tenant)
                     if entry is not None:
                         entry.attributes["status"] = status
             except (ConnectionError, TimeoutError,
@@ -596,12 +640,14 @@ class ClusterGateway:
             f"{len(self.ring)} members, 0 answered")
 
     def _request(self, member: ShardMember, method: str, path: str, *,
-                 body: bytes | None = None, timeout: float | None = None
-                 ) -> tuple[int, bytes, str]:
+                 body: bytes | None = None, timeout: float | None = None,
+                 tenant: str | None = None) -> tuple[int, bytes, str]:
         request = urllib.request.Request(member.url + path, method=method)
         context = current_trace()
         if context is not None:
             request.add_header(TRACE_HEADER, context.to_header())
+        if tenant is not None:
+            request.add_header(TENANT_HEADER, tenant)
         if body is not None:
             request.add_header("Content-Type", "application/json")
         try:
@@ -622,8 +668,9 @@ class ClusterGateway:
 
         Returns ``(merged, polled, contributing)``: ``polled`` shards
         answered this scrape, ``contributing`` shards added samples at all
-        (a dead shard contributes its last-known samples, so cluster
-        counters stay monotone across shard outages).
+        (a dead shard contributes its last-known samples, and a restarted
+        shard's monotone samples are offset by its pre-restart values, so
+        cluster counters never go backwards across shard outages).
         """
         merged: dict[str, float] = {}
         polled = 0
@@ -646,7 +693,7 @@ class ClusterGateway:
                                                        errors="replace"))
                            if not name.endswith(("_p50", "_p95"))]
                 with self._samples_lock:
-                    self._last_samples[member.name] = samples
+                    samples = self._absorb_scrape(member.name, samples)
             if samples is None:
                 with self._samples_lock:
                     samples = self._last_samples.get(member.name, [])
@@ -655,6 +702,31 @@ class ClusterGateway:
             for name, value in samples:
                 merged[name] = merged.get(name, 0.0) + value
         return merged, polled, contributing
+
+    def _absorb_scrape(self, shard: str, samples: list[tuple[str, float]]
+                       ) -> list[tuple[str, float]]:
+        """Fold one fresh scrape into the per-shard caches (lock held).
+
+        Monotone samples (``_total`` / ``_sum`` / ``_count`` / ``_bucket``,
+        matched on the base name before any label block) that regressed
+        below the shard's last raw reading signal a restart: the lost
+        progress is banked as an offset and every later reading is shifted
+        by it, keeping the merged series non-decreasing.  Gauges pass
+        through untouched — a restarted shard's queue depth really is small.
+        """
+        raw = self._raw_counters.setdefault(shard, {})
+        offsets = self._counter_offsets.setdefault(shard, {})
+        adjusted: list[tuple[str, float]] = []
+        for name, value in samples:
+            if _is_monotone_sample(name):
+                last = raw.get(name)
+                if last is not None and value < last:
+                    offsets[name] = offsets.get(name, 0.0) + last
+                raw[name] = value
+                value += offsets.get(name, 0.0)
+            adjusted.append((name, value))
+        self._last_samples[shard] = adjusted
+        return adjusted
 
     def _fleet_sample(self) -> dict:
         """The gateway monitor's metrics source: one fleet-level sample.

@@ -20,8 +20,10 @@ import time
 
 def _shard_main(connection, host: str, workers: int,
                 max_depth: int | None, job_timeout: float | None,
-                cache_dir: str | None,
-                monitor: dict | bool | None) -> None:  # pragma: no cover — child
+                cache_dir: str | None, monitor: dict | bool | None,
+                tenant_weights: dict | None, tenant_quotas: dict | None,
+                default_tenant_quota: int | None
+                ) -> None:  # pragma: no cover — child
     """Child-process entry: run one CompileServer until terminated."""
     from repro.server.http import CompileServer
     from repro.service.cache import ResultCache
@@ -30,7 +32,9 @@ def _shard_main(connection, host: str, workers: int,
              if cache_dir else None)
     server = CompileServer(host=host, port=0, workers=workers, cache=cache,
                            max_depth=max_depth, job_timeout=job_timeout,
-                           monitor=monitor)
+                           monitor=monitor, tenant_weights=tenant_weights,
+                           tenant_quotas=tenant_quotas,
+                           default_tenant_quota=default_tenant_quota)
     server.start()
     connection.send(server.url)
     connection.close()
@@ -63,6 +67,10 @@ class LocalShardFleet:
         Monitoring config forwarded to every shard's CompileServer.  Must be
         picklable (a plain dict of overrides, ``False`` to disable, or
         ``None`` for defaults) — it crosses the process boundary.
+    tenant_weights, tenant_quotas, default_tenant_quota:
+        Per-tenant fair-share weights and admission quotas forwarded to
+        every shard's queue (plain dicts / int — they cross the process
+        boundary too).
     """
 
     def __init__(self, shards: int = 2, host: str = "127.0.0.1", *,
@@ -70,7 +78,10 @@ class LocalShardFleet:
                  job_timeout: float | None = None,
                  cache_dirs: list[str] | None = None,
                  start_timeout: float = 30.0,
-                 monitor: dict | bool | None = None):
+                 monitor: dict | bool | None = None,
+                 tenant_weights: dict | None = None,
+                 tenant_quotas: dict | None = None,
+                 default_tenant_quota: int | None = None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if cache_dirs is not None and len(cache_dirs) != shards:
@@ -83,6 +94,9 @@ class LocalShardFleet:
         self.cache_dirs = cache_dirs
         self.start_timeout = start_timeout
         self.monitor = monitor
+        self.tenant_weights = tenant_weights
+        self.tenant_quotas = tenant_quotas
+        self.default_tenant_quota = default_tenant_quota
         self._processes: list[multiprocessing.Process] = []
         self.urls: list[str] = []
 
@@ -99,7 +113,9 @@ class LocalShardFleet:
             process = context.Process(
                 target=_shard_main,
                 args=(child_end, self.host, self.workers, self.max_depth,
-                      self.job_timeout, cache_dir, self.monitor),
+                      self.job_timeout, cache_dir, self.monitor,
+                      self.tenant_weights, self.tenant_quotas,
+                      self.default_tenant_quota),
                 name=f"repro-shard-{index}", daemon=True)
             process.start()
             child_end.close()

@@ -148,8 +148,40 @@ class AlertManager:
         self.clock = clock
         self.exemplar_source = exemplar_source
         self._states = {rule.name: _RuleState() for rule in self.rules}
+        # Bounded ring (like the span store): a long-running server must not
+        # accumulate transition events without limit.  Evictions are counted
+        # so an operator can tell the history is truncated.
         self._events: deque[dict] = deque(maxlen=max_events)
+        self.dropped_events = 0
         self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def ensure_rules(self, rules: Iterable[BurnRateRule]
+                     ) -> list[BurnRateRule]:
+        """Idempotently add rules discovered after construction.
+
+        The monitor instantiates per-tenant burn-rate rules as tenants show
+        up in the traffic; re-registering an existing name is a no-op so the
+        call is safe every tick.  Returns the rules actually added.
+        """
+        added = []
+        with self._lock:
+            known = {rule.name for rule in self.rules}
+            for rule in rules:
+                if rule.name in known:
+                    continue
+                known.add(rule.name)
+                self.rules = (*self.rules, rule)
+                self._states[rule.name] = _RuleState()
+                added.append(rule)
+        return added
+
+    def _record_event(self, event: dict) -> None:
+        """Append to the bounded ring, counting evictions (lock held)."""
+        if (self._events.maxlen is not None
+                and len(self._events) >= self._events.maxlen):
+            self.dropped_events += 1
+        self._events.append(event)
 
     # ------------------------------------------------------------------ #
     def evaluate(self, slo_results: Mapping[str, Mapping],
@@ -169,7 +201,7 @@ class AlertManager:
                 event = self._advance(rule, state, holds, at,
                                       slo_results.get(rule.slo))
                 if event is not None:
-                    self._events.append(event)
+                    self._record_event(event)
                     emitted.append(event)
         for event in emitted:
             _LOG.warning("alert_transition", rule=event["rule"],

@@ -103,6 +103,35 @@ def render_dashboard(*, url: str, health: Mapping | None,
         for label in sorted(windows, key=_label_seconds):
             lines.append(_window_line(label, windows[label]))
 
+    # --- tenant breakdown ------------------------------------------------
+    tenant_label, tenant_rows = None, {}
+    for label in sorted(windows, key=_label_seconds):
+        view = windows.get(label) or {}
+        if view.get("tenants"):
+            tenant_label, tenant_rows = label, view["tenants"]
+            break
+    if tenant_rows:
+        lines.append("")
+        lines.append(_paint(f"tenants ({tenant_label})", _BOLD, color))
+        total_rate = sum((row or {}).get("jobs_per_s", 0.0)
+                         for row in tenant_rows.values())
+        ordered = sorted(tenant_rows,
+                         key=lambda name: -tenant_rows[name].get(
+                             "jobs_per_s", 0.0))
+        for name in ordered:
+            row = tenant_rows[name] or {}
+            rate = row.get("jobs_per_s", 0.0)
+            share = rate / total_rate if total_rate else 0.0
+            service = (row.get("histograms") or {}).get(
+                "service_seconds") or {}
+            throttled = int((row.get("counters") or {}).get("throttled", 0))
+            line = (f"  {name:>12.12}  {rate:7.2f} jobs/s"
+                    f" ({share * 100:5.1f}%)"
+                    f"   err {row.get('error_rate', 0.0) * 100:5.1f}%"
+                    f"   p95 {_fmt_s(service.get('p95', 0.0)):>7}"
+                    f"   throttled {throttled}")
+            lines.append(_paint(line, _YELLOW, color) if throttled else line)
+
     # --- sparklines ------------------------------------------------------
     series = history.get("series") or {}
     if series.get("t"):

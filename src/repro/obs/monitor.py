@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.obs.alerts import AlertManager, BurnRateRule
@@ -74,6 +74,9 @@ class MonitorConfig:
     ``slos`` / ``rules`` default to :data:`DEFAULT_SLOS` /
     :func:`default_rules`; ``for_s`` / ``resolve_s`` override the default
     rules' dwell times (handy for smoke tests that need sub-minute paging).
+    ``tenant_slos`` holds *template* specs instantiated per tenant as
+    tenants appear in the traffic (``True`` templates the default SLOs;
+    empty disables per-tenant objectives).
     """
 
     interval_s: float = 5.0
@@ -81,6 +84,7 @@ class MonitorConfig:
     max_samples: int = 720
     slos: tuple = ()
     rules: tuple = ()
+    tenant_slos: tuple = ()
     for_s: float | None = None
     resolve_s: float | None = None
     enabled: bool = True
@@ -96,6 +100,12 @@ class MonitorConfig:
                            for rule in self.rules) or default_rules(
                                self.slos, self.windows,
                                for_s=self.for_s, resolve_s=self.resolve_s)
+        if self.tenant_slos is True:
+            self.tenant_slos = self.slos
+        else:
+            self.tenant_slos = tuple(spec if isinstance(spec, SLOSpec)
+                                     else SLOSpec.from_dict(spec)
+                                     for spec in (self.tenant_slos or ()))
 
     @classmethod
     def from_value(cls, value) -> "MonitorConfig":
@@ -114,7 +124,7 @@ class MonitorConfig:
         if isinstance(value, Mapping):
             data = dict(value)
             known = {"interval_s", "windows", "max_samples", "slos",
-                     "rules", "for_s", "resolve_s", "enabled"}
+                     "rules", "tenant_slos", "for_s", "resolve_s", "enabled"}
             kwargs = {key: data.pop(key) for key in list(data)
                       if key in known}
             config = cls(**kwargs)
@@ -128,6 +138,7 @@ class MonitorConfig:
                 "max_samples": self.max_samples,
                 "slos": [spec.to_dict() for spec in self.slos],
                 "rules": [rule.to_dict() for rule in self.rules],
+                "tenant_slos": [spec.to_dict() for spec in self.tenant_slos],
                 "enabled": self.enabled}
 
 
@@ -189,11 +200,43 @@ class Monitor:
         return self._exemplar_source(spec)
 
     # ------------------------------------------------------------------ #
+    def _tenant_specs(self, windows_view: Mapping) -> list[SLOSpec]:
+        """Instantiate tenant-SLO templates for every tenant with traffic.
+
+        New specs (and their fast/slow-burn rules) are registered the first
+        time a tenant appears; the set only grows, bounded by the metrics
+        layer's tenant-cardinality cap.
+        """
+        templates = self.config.tenant_slos
+        if not templates:
+            return []
+        tenants = sorted({tenant for view in windows_view.values()
+                          if view for tenant in (view.get("tenants") or {})})
+        specs = []
+        fresh = []
+        for tenant in tenants:
+            for template in templates:
+                name = f"{template.name}:{tenant}"
+                spec = self._specs.get(name)
+                if spec is None:
+                    spec = replace(template, name=name, tenant=tenant)
+                    self._specs[name] = spec
+                    fresh.append(spec)
+                specs.append(spec)
+        if fresh:
+            self.alerts.ensure_rules(default_rules(
+                fresh, self.config.windows,
+                for_s=self.config.for_s, resolve_s=self.config.resolve_s))
+        return specs
+
     def evaluate_slos(self) -> dict[str, dict]:
-        """Every SLO scored against the current rolling windows."""
+        """Every SLO — fleet-wide and per-tenant — scored over the windows."""
         windows_view = self.recorder.windows_view()
-        return {spec.name: evaluate_slo(spec, windows_view)
-                for spec in self.config.slos}
+        results = {spec.name: evaluate_slo(spec, windows_view)
+                   for spec in self.config.slos}
+        for spec in self._tenant_specs(windows_view):
+            results[spec.name] = evaluate_slo(spec, windows_view)
+        return results
 
     def tick(self, now: float | None = None) -> list[dict]:
         """One monitoring step: sample, score SLOs, advance alerts.
@@ -218,8 +261,9 @@ class Monitor:
         return {"monitor": self.name, "now": round(self.clock(), 3),
                 "firing": self.alerts.firing_count(),
                 "active": self.alerts.active(),
-                "rules": [rule.to_dict() for rule in self.config.rules],
-                "events": self.alerts.events(limit)}
+                "rules": [rule.to_dict() for rule in self.alerts.rules],
+                "events": self.alerts.events(limit),
+                "dropped_events": self.alerts.dropped_events}
 
     def status(self) -> dict:
         """Compact health summary (embedded in ``GET /healthz``)."""
@@ -227,8 +271,8 @@ class Monitor:
                 "running": self._thread is not None,
                 "interval_s": self.config.interval_s,
                 "samples": len(self.recorder),
-                "slos": len(self.config.slos),
-                "rules": len(self.config.rules),
+                "slos": len(self._specs),
+                "rules": len(self.alerts.rules),
                 "firing": self.alerts.firing_count(),
                 "tick_errors": self.tick_errors
                 + self.recorder.sample_errors}

@@ -45,6 +45,10 @@ class SLOSpec:
         The objective, in ``(0, 1)`` — e.g. ``0.95`` = 95% of jobs good.
     description:
         Human-readable summary surfaced in ``GET /slo``.
+    tenant:
+        When set, the objective is scored against that tenant's sub-view of
+        each window (``view["tenants"][tenant]``) instead of the aggregate —
+        the mechanism behind per-tenant burn-rate alerts.
     """
 
     name: str
@@ -53,6 +57,7 @@ class SLOSpec:
     threshold_s: float = 2.0
     target: float = 0.95
     description: str = ""
+    tenant: str | None = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -74,6 +79,8 @@ class SLOSpec:
             record["threshold_s"] = self.threshold_s
         if self.description:
             record["description"] = self.description
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
         return record
 
     @classmethod
@@ -83,7 +90,8 @@ class SLOSpec:
                    metric=data.get("metric", "service_seconds"),
                    threshold_s=float(data.get("threshold_s", 2.0)),
                    target=float(data.get("target", 0.95)),
-                   description=data.get("description", ""))
+                   description=data.get("description", ""),
+                   tenant=data.get("tenant"))
 
 
 def evaluate_window(spec: SLOSpec, view: Mapping | None) -> dict | None:
@@ -95,9 +103,15 @@ def evaluate_window(spec: SLOSpec, view: Mapping | None) -> dict | None:
     For a latency SLO the good count is the windowed histogram's cumulative
     count at the smallest bucket bound >= ``threshold_s``; observations past
     the finite buckets are pessimistically bad (we can't prove them fast).
+    A tenant-scoped spec descends into the window's matching tenant
+    sub-view first — a tenant with no traffic in the window has no data.
     """
     if view is None:
         return None
+    if spec.tenant is not None:
+        view = (view.get("tenants") or {}).get(spec.tenant)
+        if view is None:
+            return None
     if spec.kind == "availability":
         counters = view.get("counters") or {}
         total = float(counters.get("completed", 0.0))

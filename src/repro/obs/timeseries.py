@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 #: Rolling windows surfaced by default: 1m / 5m / 30m.
@@ -31,7 +31,7 @@ DEFAULT_WINDOWS = (60.0, 300.0, 1800.0)
 
 #: Counter names differenced into the window views (a missing counter is 0).
 _RATE_COUNTERS = ("submitted", "completed", "failed", "coalesced",
-                  "cache_hits", "rejected")
+                  "cache_hits", "rejected", "throttled")
 
 
 def window_label(seconds: float) -> str:
@@ -64,6 +64,23 @@ def percentile_from_cumulative(buckets: Sequence[Sequence[float]],
     return buckets[-1][0]
 
 
+def _normalise_counters(raw: Mapping | None) -> dict:
+    return {key: float(value) for key, value in (raw or {}).items()}
+
+
+def _normalise_histograms(raw: Mapping | None) -> dict:
+    """Histogram sub-samples with non-finite bucket bounds dropped."""
+    histograms = {}
+    for name, data in (raw or {}).items():
+        buckets = [(float(bound), float(cumulative))
+                   for bound, cumulative in (data.get("buckets") or ())
+                   if float(bound) != float("inf")]
+        histograms[name] = {"buckets": buckets,
+                            "sum": float(data.get("sum", 0.0)),
+                            "count": float(data.get("count", 0.0))}
+    return histograms
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """One cumulative sample: counters, gauge values and histogram buckets."""
@@ -73,43 +90,37 @@ class MetricsSnapshot:
     gauges: dict
     #: ``name -> {"buckets": [(finite_bound, cumulative), ...], "sum", "count"}``
     histograms: dict
+    #: ``tenant -> {"counters": {...}, "histograms": {...}}`` — the same
+    #: cumulative shape as the top level, per tenant label.
+    tenants: dict = field(default_factory=dict)
 
     @classmethod
     def capture(cls, t: float, sample: Mapping) -> "MetricsSnapshot":
         """Normalise a raw source sample (drops non-finite bucket bounds)."""
-        histograms = {}
-        for name, data in (sample.get("histograms") or {}).items():
-            buckets = [(float(bound), float(cumulative))
-                       for bound, cumulative in (data.get("buckets") or ())
-                       if float(bound) != float("inf")]
-            histograms[name] = {"buckets": buckets,
-                                "sum": float(data.get("sum", 0.0)),
-                                "count": float(data.get("count", 0.0))}
+        tenants = {}
+        for tenant, data in (sample.get("tenants") or {}).items():
+            tenants[tenant] = {
+                "counters": _normalise_counters(data.get("counters")),
+                "histograms": _normalise_histograms(data.get("histograms")),
+            }
         return cls(t=t,
-                   counters={key: float(value) for key, value
-                             in (sample.get("counters") or {}).items()},
-                   gauges={key: float(value) for key, value
-                           in (sample.get("gauges") or {}).items()},
-                   histograms=histograms)
+                   counters=_normalise_counters(sample.get("counters")),
+                   gauges=_normalise_counters(sample.get("gauges")),
+                   histograms=_normalise_histograms(sample.get("histograms")),
+                   tenants=tenants)
 
 
-def _diff_window(old: MetricsSnapshot, new: MetricsSnapshot,
-                 requested_s: float) -> dict:
-    """The windowed view between two snapshots (deltas, rates, percentiles).
+def _diff_counters(old: Mapping, new: Mapping) -> dict:
+    """Per-counter deltas, clamped at zero (a reset degrades to empty)."""
+    return {name: max(0.0, new.get(name, 0.0) - old.get(name, 0.0))
+            for name in set(_RATE_COUNTERS) | set(new) | set(old)}
 
-    Deltas are clamped at zero so a counter reset (shard restart) degrades
-    to an empty window instead of negative rates.
-    """
-    span = max(new.t - old.t, 1e-9)
-    counters = {name: max(0.0, new.counters.get(name, 0.0)
-                          - old.counters.get(name, 0.0))
-                for name in set(_RATE_COUNTERS)
-                | set(new.counters) | set(old.counters)}
-    completed = counters.get("completed", 0.0)
-    failed = counters.get("failed", 0.0)
+
+def _diff_histograms(old: Mapping, new: Mapping) -> dict:
+    """Window-local histograms between two cumulative samples."""
     histograms = {}
-    for name, data in new.histograms.items():
-        held = old.histograms.get(name)
+    for name, data in new.items():
+        held = old.get(name)
         if held is None or len(held["buckets"]) != len(data["buckets"]):
             held = {"buckets": [(bound, 0.0) for bound, _ in data["buckets"]],
                     "sum": 0.0, "count": 0.0}
@@ -128,16 +139,48 @@ def _diff_window(old: MetricsSnapshot, new: MetricsSnapshot,
                                                     total), 6),
             "buckets": [[bound, delta] for bound, delta in buckets],
         }
+    return histograms
+
+
+def _rate_view(counters: dict, histograms: dict, span: float) -> dict:
+    """The common windowed-view body shared by the fleet and each tenant."""
+    completed = counters.get("completed", 0.0)
+    failed = counters.get("failed", 0.0)
     return {
-        "seconds": requested_s,
-        "span_s": round(span, 3),
         "counters": {name: counters[name] for name in sorted(counters)},
         "jobs_per_s": round(completed / span, 6),
         "submitted_per_s": round(counters.get("submitted", 0.0) / span, 6),
         "error_rate": round(failed / completed, 6) if completed else 0.0,
         "histograms": histograms,
-        "gauges": dict(new.gauges),
     }
+
+
+def _diff_window(old: MetricsSnapshot, new: MetricsSnapshot,
+                 requested_s: float) -> dict:
+    """The windowed view between two snapshots (deltas, rates, percentiles).
+
+    Deltas are clamped at zero so a counter reset (shard restart) degrades
+    to an empty window instead of negative rates.  Tenant sub-views mirror
+    the top-level shape (counters/rates/histograms) under ``"tenants"`` —
+    the same structure :func:`~repro.obs.slo.evaluate_window` consumes, so
+    a tenant-scoped SLO evaluates a tenant view with unchanged logic.
+    """
+    span = max(new.t - old.t, 1e-9)
+    view = _rate_view(_diff_counters(old.counters, new.counters),
+                      _diff_histograms(old.histograms, new.histograms), span)
+    tenants = {}
+    for tenant, data in new.tenants.items():
+        held = old.tenants.get(tenant) or {"counters": {}, "histograms": {}}
+        tenants[tenant] = _rate_view(
+            _diff_counters(held["counters"], data["counters"]),
+            _diff_histograms(held["histograms"], data["histograms"]), span)
+    view.update({
+        "seconds": requested_s,
+        "span_s": round(span, 3),
+        "gauges": dict(new.gauges),
+        "tenants": tenants,
+    })
+    return view
 
 
 class MetricsRecorder:
@@ -307,6 +350,60 @@ _HISTOGRAM_NAMES = (("job_wait_seconds", "wait_seconds"),
 _NON_GAUGE_SUFFIXES = ("_total", "_sum", "_count", "_p50", "_p95")
 
 
+def _tenants_from_prometheus(samples: Mapping[str, float],
+                             prefix: str) -> dict:
+    """Per-tenant counters and histograms from tenant-labelled samples.
+
+    Relies on the label order :meth:`ServerMetrics.to_prometheus` renders:
+    ``_bucket{tenant="...",le="..."}`` and ``_sum{tenant="..."}`` — the
+    tenant label always comes first.
+    """
+    tenants: dict[str, dict] = {}
+
+    def bucket_for(tenant: str) -> dict:
+        entry = tenants.get(tenant)
+        if entry is None:
+            entry = tenants[tenant] = {
+                "counters": {},
+                "histograms": {key: {"buckets": [], "sum": 0.0, "count": 0.0}
+                               for _, key in _HISTOGRAM_NAMES},
+            }
+        return entry
+
+    counter_head = f"{prefix}_tenant_jobs_"
+    for name, value in samples.items():
+        if name.startswith(counter_head):
+            base, sep, rest = name.partition('{tenant="')
+            if not sep or not base.endswith("_total"):
+                continue
+            counter = base[len(counter_head):-len("_total")]
+            tenant = rest.rstrip('"}')
+            bucket_for(tenant)["counters"][counter] = value
+    for metric, key in (("tenant_job_wait_seconds", "wait_seconds"),
+                        ("tenant_job_service_seconds", "service_seconds")):
+        bucket_head = f'{prefix}_{metric}_bucket{{tenant="'
+        sum_head = f'{prefix}_{metric}_sum{{tenant="'
+        count_head = f'{prefix}_{metric}_count{{tenant="'
+        for name, value in samples.items():
+            if name.startswith(bucket_head):
+                tenant, sep, bound = (name[len(bucket_head):-2]
+                                      .partition('",le="'))
+                if not sep or bound == "+Inf":
+                    continue
+                bucket_for(tenant)["histograms"][key]["buckets"].append(
+                    (float(bound), value))
+            elif name.startswith(sum_head):
+                tenant = name[len(sum_head):].rstrip('"}')
+                bucket_for(tenant)["histograms"][key]["sum"] = value
+            elif name.startswith(count_head):
+                tenant = name[len(count_head):].rstrip('"}')
+                bucket_for(tenant)["histograms"][key]["count"] = value
+    for entry in tenants.values():
+        for data in entry["histograms"].values():
+            data["buckets"].sort()
+    return tenants
+
+
 def sample_from_prometheus(samples: Mapping[str, float],
                            prefix: str = "repro_server") -> dict:
     """Build a recorder sample from parsed Prometheus samples.
@@ -314,6 +411,9 @@ def sample_from_prometheus(samples: Mapping[str, float],
     The inverse of :meth:`ServerMetrics.to_prometheus` for the subset the
     recorder consumes — this is how the gateway's merged shard samples
     (cumulative sums across the fleet) become a fleet-level time series.
+    Tenant-labelled counters and histograms reassemble into the sample's
+    ``"tenants"`` sub-dict, so per-tenant windows work identically whether
+    the source is one server or the merged fleet.
     """
     counters = {name: samples.get(f"{prefix}_jobs_{name}_total", 0.0)
                 for name in _RATE_COUNTERS}
@@ -342,4 +442,5 @@ def sample_from_prometheus(samples: Mapping[str, float],
                in _HISTOGRAM_NAMES):
             continue
         gauges[name[len(head):]] = value
-    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+    return {"counters": counters, "gauges": gauges, "histograms": histograms,
+            "tenants": _tenants_from_prometheus(samples, prefix)}

@@ -5,8 +5,11 @@ turns the reproduction into a long-running system any number of clients hit
 concurrently:
 
 * :mod:`repro.server.queue` — thread-safe priority queue with *coalescing*
-  (identical in-flight jobs share one computation) and bounded-depth
-  admission control,
+  (identical in-flight jobs share one computation), bounded-depth admission
+  control, per-tenant quotas and weighted-fair (deficit-round-robin)
+  dequeue across tenants,
+* :mod:`repro.server.tenancy` — the ``X-Repro-Tenant`` header contract and
+  tenant-name normalisation shared by client, server and gateway,
 * :mod:`repro.server.scheduler` — a worker pool draining the queue through
   :class:`~repro.service.executor.CompilationService` (so the result cache
   short-circuits warm jobs), with pause/resume, graceful shutdown and
@@ -34,8 +37,9 @@ from repro.server.client import CompileClient, ServerError
 from repro.server.http import CompileServer
 from repro.server.metrics import Histogram, ServerMetrics
 from repro.server.queue import (JobQueue, JobTicket, QueueClosedError,
-                                QueueFullError)
+                                QueueFullError, TenantQuotaError)
 from repro.server.scheduler import Scheduler
+from repro.server.tenancy import DEFAULT_TENANT, TENANT_HEADER, normalize_tenant
 
 __all__ = [
     "CompileServer",
@@ -45,7 +49,11 @@ __all__ = [
     "JobTicket",
     "QueueFullError",
     "QueueClosedError",
+    "TenantQuotaError",
     "Scheduler",
     "ServerMetrics",
     "Histogram",
+    "DEFAULT_TENANT",
+    "TENANT_HEADER",
+    "normalize_tenant",
 ]

@@ -25,6 +25,7 @@ import urllib.request
 
 from repro.obs.trace import (TRACE_HEADER, TraceContext, activate,
                              current_trace, span)
+from repro.server.tenancy import TENANT_HEADER, normalize_tenant
 from repro.service.jobs import CompileJob, CompileOutcome, PortfolioJob
 
 
@@ -56,16 +57,22 @@ class CompileClient:
         ``[0.5, 1.0]`` so clients retrying together spread out.
     retry_statuses:
         HTTP statuses treated as transient (429 queue-full, 503 draining).
+    tenant:
+        Tenant identity stamped on every request as the ``X-Repro-Tenant``
+        header; ``None`` sends no header (the server accounts the requests
+        to ``"default"``).  Invalid names normalise to ``"default"``.
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0, *,
                  retries: int = 2, backoff_s: float = 0.1,
                  max_backoff_s: float = 2.0,
-                 retry_statuses: tuple[int, ...] = (429, 503)):
+                 retry_statuses: tuple[int, ...] = (429, 503),
+                 tenant: str | None = None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.tenant = normalize_tenant(tenant) if tenant is not None else None
         self.retries = retries
         self.backoff_s = backoff_s
         self.max_backoff_s = max_backoff_s
@@ -78,12 +85,14 @@ class CompileClient:
 
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str, body: dict | None = None, *,
-                 timeout: float | None = None) -> tuple[int, dict | str]:
+                 timeout: float | None = None,
+                 tenant: str | None = None) -> tuple[int, dict | str]:
         """One logical request, with bounded retry-with-jitter on top."""
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, body, timeout=timeout)
+                return self._request_once(method, path, body, timeout=timeout,
+                                          tenant=tenant)
             except ServerError as exc:
                 if (exc.status not in self.retry_statuses
                         or attempt >= self.retries):
@@ -106,11 +115,15 @@ class CompileClient:
         return delay * (0.5 + 0.5 * self._rng.random())
 
     def _request_once(self, method: str, path: str, body: dict | None = None,
-                      *, timeout: float | None = None) -> tuple[int, dict | str]:
+                      *, timeout: float | None = None,
+                      tenant: str | None = None) -> tuple[int, dict | str]:
         request = urllib.request.Request(self.base_url + path, method=method)
         context = current_trace()
         if context is not None:
             request.add_header(TRACE_HEADER, context.to_header())
+        effective_tenant = tenant if tenant is not None else self.tenant
+        if effective_tenant is not None:
+            request.add_header(TENANT_HEADER, effective_tenant)
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
@@ -139,7 +152,7 @@ class CompileClient:
 
     # ------------------------------------------------------------------ #
     def _submit(self, path: str, job, *, priority: int, wait: bool,
-                timeout: float) -> dict:
+                timeout: float, tenant: str | None = None) -> dict:
         """Shared submit body/timeout plumbing for ``/jobs`` and ``/portfolio``.
 
         Every submission runs under a trace context — the caller's, or a
@@ -147,24 +160,28 @@ class CompileClient:
         ``X-Repro-Trace`` header.  Retries stay inside the one span: they are
         the same logical request.  The trace id is kept on
         :attr:`last_trace_id` for ``repro trace``-style follow-ups.
+        ``tenant`` overrides the client-level tenant for this one submission.
         """
         body = {"job": job.to_dict() if hasattr(job, "to_dict") else job,
                 "priority": priority, "wait": wait, "timeout": timeout}
         socket_timeout = self.timeout + (timeout if wait else 0.0)
+        tenant = normalize_tenant(tenant) if tenant is not None else None
         context = current_trace() or TraceContext.new()
         self.last_trace_id = context.trace_id
         with activate(context):
             with span("client.request", method="POST", path=path) as entry:
                 _, payload = self._request("POST", path, body,
-                                           timeout=socket_timeout)
+                                           timeout=socket_timeout,
+                                           tenant=tenant)
                 if entry is not None and isinstance(payload, dict):
                     entry.attributes["job_key"] = payload.get("key")
         return payload  # type: ignore[return-value]
 
     def _submit_and_wait(self, path: str, job, *, priority: int,
-                         timeout: float) -> CompileOutcome:
+                         timeout: float,
+                         tenant: str | None = None) -> CompileOutcome:
         reply = self._submit(path, job, priority=priority, wait=True,
-                             timeout=timeout)
+                             timeout=timeout, tenant=tenant)
         if "outcome" in reply:
             outcome = CompileOutcome.from_dict(reply["outcome"])
             outcome.cache_hit = bool(reply.get("cache_hit"))
@@ -173,7 +190,8 @@ class CompileClient:
         return self.outcome(reply["key"], wait=True, timeout=timeout)
 
     def submit(self, job: CompileJob | dict, *, priority: int = 0,
-               wait: bool = False, timeout: float = 30.0) -> dict:
+               wait: bool = False, timeout: float = 30.0,
+               tenant: str | None = None) -> dict:
         """``POST /jobs``.
 
         Returns the server's reply dict: ``{key, status, coalesced}`` for a
@@ -181,7 +199,7 @@ class CompileClient:
         ``wait=True`` resolved within ``timeout`` seconds.
         """
         return self._submit("/jobs", job, priority=priority, wait=wait,
-                            timeout=timeout)
+                            timeout=timeout, tenant=tenant)
 
     def status(self, key: str) -> dict:
         """``GET /jobs/<key>`` — the ticket snapshot."""
@@ -217,10 +235,11 @@ class CompileClient:
         return outcome
 
     def compile(self, job: CompileJob | dict, *, priority: int = 0,
-                timeout: float = 60.0) -> CompileOutcome:
+                timeout: float = 60.0,
+                tenant: str | None = None) -> CompileOutcome:
         """Submit-and-wait convenience: one call, one finished outcome."""
         return self._submit_and_wait("/jobs", job, priority=priority,
-                                     timeout=timeout)
+                                     timeout=timeout, tenant=tenant)
 
     # ------------------------------------------------------------------ #
     def submit_portfolio(self, job: PortfolioJob | dict, *, priority: int = 0,

@@ -63,8 +63,10 @@ from repro.obs.monitor import Monitor, MonitorConfig
 from repro.obs.store import configure_store, get_store
 from repro.obs.trace import TRACE_HEADER, TraceContext, activate, span
 from repro.server.metrics import ServerMetrics, rss_bytes, thread_count
-from repro.server.queue import JobQueue, QueueClosedError, QueueFullError
+from repro.server.queue import (JobQueue, QueueClosedError, QueueFullError,
+                                TenantQuotaError)
 from repro.server.scheduler import Scheduler
+from repro.server.tenancy import TENANT_HEADER, normalize_tenant
 from repro.service.cache import ResultCache
 from repro.service.executor import CompilationService
 from repro.service.jobs import CompileJob, PortfolioJob
@@ -261,6 +263,12 @@ class _Handler(BaseHTTPRequestHandler):
         if payload is None:
             return
         job_data = payload.get("job", payload)
+        # The tenant rides on a header (not the job payload) so it can never
+        # perturb the content-addressed job key — identical jobs from
+        # different tenants still coalesce onto one computation.
+        tenant = normalize_tenant(self.headers.get(TENANT_HEADER))
+        if self._span is not None:
+            self._span.attributes["tenant"] = tenant
         try:
             job = job_cls.from_dict(job_data)
             priority = int(payload.get("priority", 0))
@@ -270,7 +278,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"bad job payload: {exc}")
             return
         try:
-            ticket, coalesced = self.app.scheduler.submit(job, priority)
+            ticket, coalesced = self.app.scheduler.submit(job, priority,
+                                                          tenant)
+        except TenantQuotaError as exc:
+            _LOG.warning("tenant_throttled", tenant=exc.tenant,
+                         quota=exc.quota, path=path)
+            self._reply(429, {"error": str(exc), "tenant": exc.tenant})
+            return
         except QueueFullError as exc:
             self._error(429, str(exc))
             return
@@ -292,11 +306,12 @@ class _Handler(BaseHTTPRequestHandler):
             if outcome is not None:
                 self._reply(200, {"key": ticket.key, "coalesced": coalesced,
                                   "cache_hit": outcome.cache_hit,
-                                  "trace_id": trace_id,
+                                  "trace_id": trace_id, "tenant": tenant,
                                   "outcome": outcome.to_dict()})
                 return
         self._reply(202, {"key": ticket.key, "status": ticket.state,
                           "coalesced": coalesced, "trace_id": trace_id,
+                          "tenant": tenant,
                           "queue_depth": self.app.queue.depth})
 
 
@@ -330,8 +345,11 @@ class CompileServer:
         Monitoring configuration: ``None`` (default) enables the monitor
         with default SLOs sampling every 5 s, ``False`` disables it, a dict
         or :class:`~repro.obs.monitor.MonitorConfig` overrides (interval,
-        windows, SLO specs, alert rules).  Backs ``/metrics/history``,
-        ``/slo`` and ``/alerts``.
+        windows, SLO specs, alert rules, per-tenant SLO templates).  Backs
+        ``/metrics/history``, ``/slo`` and ``/alerts``.
+    tenant_weights, tenant_quotas, default_tenant_quota:
+        Forwarded to :class:`~repro.server.queue.JobQueue`: deficit-round-
+        robin dequeue weights and per-tenant admission quotas.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
@@ -343,7 +361,10 @@ class CompileServer:
                  slow_request_s: float | None = 5.0,
                  profile_slow_s: float | None = None,
                  trace_max_spans: int | None = None,
-                 monitor: MonitorConfig | dict | bool | None = None):
+                 monitor: MonitorConfig | dict | bool | None = None,
+                 tenant_weights: dict[str, float] | None = None,
+                 tenant_quotas: dict[str, int] | None = None,
+                 default_tenant_quota: int | None = None):
         self.verbose = verbose
         self.slow_request_s = slow_request_s
         if trace_max_spans is not None:
@@ -352,7 +373,10 @@ class CompileServer:
             cache = ResultCache(max_entries=default_cache_entries)
         self.cache = cache
         self.service = CompilationService(cache=cache)
-        self.queue = JobQueue(max_depth=max_depth)
+        self.queue = JobQueue(max_depth=max_depth,
+                              tenant_weights=tenant_weights,
+                              tenant_quotas=tenant_quotas,
+                              default_tenant_quota=default_tenant_quota)
         self.metrics = ServerMetrics()
         self.scheduler = Scheduler(self.service, queue=self.queue,
                                    workers=workers, job_timeout=job_timeout,
@@ -403,7 +427,8 @@ class CompileServer:
         """Offending trace id for a firing latency SLO (monitor callback)."""
         if spec.kind != "latency":
             return None
-        return self.metrics.exemplar_for(spec.metric, spec.threshold_s)
+        return self.metrics.exemplar_for(spec.metric, spec.threshold_s,
+                                         tenant=getattr(spec, "tenant", None))
 
     def health(self) -> dict:
         store = get_store()
@@ -412,6 +437,7 @@ class CompileServer:
             "uptime_s": round(self._uptime(), 3),
             "workers": self.scheduler.workers,
             "queue_depth": self.queue.depth,
+            "queue_tenants": self.queue.tenant_depths(),
             "jobs_in_flight": self.scheduler.active,
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats.as_dict(),

@@ -127,6 +127,29 @@ class Histogram:
         return data
 
 
+class _TenantStats:
+    """One tenant's counters plus wait/service histograms (lock shared with
+    the owning :class:`ServerMetrics` — never touched unlocked)."""
+
+    __slots__ = ("counters", "wait_seconds", "service_seconds")
+
+    def __init__(self):
+        self.counters = {name: 0 for name in ServerMetrics.TENANT_COUNTERS}
+        self.wait_seconds = Histogram()
+        self.service_seconds = Histogram()
+
+
+def _histogram_sample(histogram: Histogram) -> dict:
+    """A histogram as the recorder's sample shape (finite buckets only)."""
+    return {
+        "buckets": [(bound, cumulative) for bound, cumulative
+                    in histogram.cumulative_buckets()
+                    if bound != float("inf")],
+        "sum": histogram.sum,
+        "count": histogram.count,
+    }
+
+
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -163,14 +186,22 @@ class ServerMetrics:
     """
 
     COUNTERS = ("submitted", "completed", "failed", "coalesced",
-                "cache_hits", "rejected")
+                "cache_hits", "rejected", "throttled")
+    #: The counters that are additionally tracked per tenant.
+    TENANT_COUNTERS = COUNTERS
     #: Per-portfolio-run counters (see :meth:`observe_portfolio`).
     PORTFOLIO_COUNTERS = ("runs", "candidates_run", "candidates_cancelled",
                           "candidates_cached", "hedged")
+    #: Cap on distinct tenant label values; overflow tenants are lumped into
+    #: :data:`OVERFLOW_TENANT` so a client minting random tenant names cannot
+    #: blow up metric cardinality.
+    MAX_TENANTS = 64
+    OVERFLOW_TENANT = "other"
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in self.COUNTERS}
+        self._tenants: dict[str, _TenantStats] = {}
         self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}
         #: Portfolio wins per router name (a labeled counter).
         self._wins: dict[str, int] = {}
@@ -183,9 +214,23 @@ class ServerMetrics:
         self.service_seconds = Histogram()
 
     # ------------------------------------------------------------------ #
-    def increment(self, counter: str, amount: int = 1) -> None:
+    def _tenant_stats(self, tenant: str) -> "_TenantStats":
+        """The per-tenant bucket (lock held), capped at MAX_TENANTS labels."""
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            if len(self._tenants) >= self.MAX_TENANTS:
+                tenant = self.OVERFLOW_TENANT
+                stats = self._tenants.get(tenant)
+            if stats is None:
+                stats = self._tenants[tenant] = _TenantStats()
+        return stats
+
+    def increment(self, counter: str, amount: int = 1,
+                  tenant: str | None = None) -> None:
         with self._lock:
             self._counters[counter] += amount
+            if tenant is not None:
+                self._tenant_stats(tenant).counters[counter] += amount
 
     def observe_portfolio(self, portfolio: dict) -> None:
         """Record one *executed* portfolio run from its summary breakdown.
@@ -240,12 +285,15 @@ class ServerMetrics:
 
     def observe_job(self, wait_s: float | None, service_s: float | None,
                     *, ok: bool, cache_hit: bool, coalesced: int = 0,
-                    trace_id: str | None = None) -> None:
+                    trace_id: str | None = None,
+                    tenant: str | None = None) -> None:
         """Record one finished job in a single locked update.
 
         ``trace_id`` (when the job was traced) becomes the latency
         histograms' bucket exemplar, linking "the p99 is bad" straight to a
-        ``GET /traces/<trace_id>`` span tree.
+        ``GET /traces/<trace_id>`` span tree.  With ``tenant`` set, the same
+        outcome and latencies are also recorded under that tenant's label —
+        the ticket's leader tenant, since the one computation finished once.
         """
         with self._lock:
             self._counters["completed"] += 1
@@ -259,6 +307,17 @@ class ServerMetrics:
                 self.wait_seconds.observe(wait_s, trace_id)
             if service_s is not None:
                 self.service_seconds.observe(service_s, trace_id)
+            if tenant is not None:
+                stats = self._tenant_stats(tenant)
+                stats.counters["completed"] += 1
+                if not ok:
+                    stats.counters["failed"] += 1
+                if cache_hit:
+                    stats.counters["cache_hits"] += 1
+                if wait_s is not None:
+                    stats.wait_seconds.observe(wait_s, trace_id)
+                if service_s is not None:
+                    stats.service_seconds.observe(service_s, trace_id)
 
     def register_gauge(self, name: str, supplier: Callable[[], float]) -> None:
         with self._lock:
@@ -268,15 +327,24 @@ class ServerMetrics:
         with self._lock:
             return self._counters[name]
 
-    def exemplar_for(self, metric: str, threshold_s: float) -> str | None:
+    def exemplar_for(self, metric: str, threshold_s: float,
+                     tenant: str | None = None) -> str | None:
         """An offending trace id for ``metric`` past ``threshold_s``.
 
         The server hands this to its :class:`~repro.obs.monitor.Monitor` so
         a firing latency alert carries a trace id the operator can render
-        with ``repro trace``.
+        with ``repro trace``.  With ``tenant`` set the exemplar comes from
+        that tenant's own histogram — a per-tenant alert points at one of
+        *that tenant's* slow traces, not the fleet-wide worst case.
         """
         with self._lock:
-            histogram = getattr(self, metric, None)
+            if tenant is not None:
+                stats = self._tenants.get(tenant)
+                if stats is None:
+                    return None
+                histogram = getattr(stats, metric, None)
+            else:
+                histogram = getattr(self, metric, None)
             if not isinstance(histogram, Histogram):
                 return None
             return histogram.exemplar_above(threshold_s)
@@ -289,23 +357,30 @@ class ServerMetrics:
         counters, gauge values and histogram cumulative buckets (finite
         bounds only — overflow is reconstructible from ``count``), captured
         in a single locked pass so the sample is internally consistent.
+        Tenant sub-samples ride along under ``"tenants"`` with the same
+        counters/histograms shape, feeding per-tenant rolling windows.
         """
         with self._lock:
             counters = dict(self._counters)
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
-            histograms = {}
-            for name, histogram in (("wait_seconds", self.wait_seconds),
-                                    ("service_seconds", self.service_seconds)):
-                histograms[name] = {
-                    "buckets": [(bound, cumulative) for bound, cumulative
-                                in histogram.cumulative_buckets()
-                                if bound != float("inf")],
-                    "sum": histogram.sum,
-                    "count": histogram.count,
+            histograms = {
+                "wait_seconds": _histogram_sample(self.wait_seconds),
+                "service_seconds": _histogram_sample(self.service_seconds),
+            }
+            tenants = {
+                tenant: {
+                    "counters": dict(stats.counters),
+                    "histograms": {
+                        "wait_seconds": _histogram_sample(stats.wait_seconds),
+                        "service_seconds": _histogram_sample(
+                            stats.service_seconds),
+                    },
                 }
+                for tenant, stats in self._tenants.items()
+            }
         return {"counters": counters, "gauges": gauges,
-                "histograms": histograms}
+                "histograms": histograms, "tenants": tenants}
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:
@@ -319,6 +394,8 @@ class ServerMetrics:
                                      "seconds": round(
                                          self._stage_seconds[name], 6)}
                               for name in sorted(self._stage_runs)}
+            data["tenants"] = {tenant: dict(self._tenants[tenant].counters)
+                               for tenant in sorted(self._tenants)}
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
         data.update(gauges)
@@ -333,6 +410,14 @@ class ServerMetrics:
                 lines.append(f"# HELP {metric} Jobs {name} since server start.")
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {self._counters[name]}")
+            tenants = sorted(self._tenants)
+            for name in self.TENANT_COUNTERS:
+                metric = f"{prefix}_tenant_jobs_{name}_total"
+                lines.append(f"# HELP {metric} Jobs {name} per tenant.")
+                lines.append(f"# TYPE {metric} counter")
+                for tenant in tenants:
+                    lines.append(f'{metric}{{tenant="{tenant}"}} '
+                                 f'{self._tenants[tenant].counters[name]}')
             for name in self.PORTFOLIO_COUNTERS:
                 metric = f"{prefix}_portfolio_{name}_total"
                 lines.append(f"# HELP {metric} Portfolio {name.replace('_', ' ')} "
@@ -381,6 +466,26 @@ class ServerMetrics:
                     lines.append(f"# TYPE {metric}_{label} gauge")
                     lines.append(f"{metric}_{label} "
                                  f"{_format_value(histogram.percentile(fraction))}")
+            # Per-tenant histograms: no per-tenant percentile gauges here —
+            # percentiles don't merge, so the gateway recomputes them from the
+            # labelled buckets.  Label order (tenant, le) is part of the wire
+            # contract relied on by ``sample_from_prometheus``.
+            for name, attr in (("tenant_job_wait_seconds", "wait_seconds"),
+                               ("tenant_job_service_seconds",
+                                "service_seconds")):
+                metric = f"{prefix}_{name}"
+                lines.append(f"# HELP {metric} Per-tenant job latency.")
+                lines.append(f"# TYPE {metric} histogram")
+                for tenant in tenants:
+                    histogram = getattr(self._tenants[tenant], attr)
+                    for bound, cumulative in histogram.cumulative_buckets():
+                        lines.append(
+                            f'{metric}_bucket{{tenant="{tenant}",'
+                            f'le="{_format_value(bound)}"}} {cumulative}')
+                    lines.append(f'{metric}_sum{{tenant="{tenant}"}} '
+                                 f'{_format_value(histogram.sum)}')
+                    lines.append(f'{metric}_count{{tenant="{tenant}"}} '
+                                 f'{histogram.count}')
         return "\n".join(lines) + "\n"
 
 

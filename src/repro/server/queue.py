@@ -1,21 +1,31 @@
-"""Thread-safe priority job queue with coalescing and admission control.
+"""Thread-safe priority job queue with coalescing, fairness and admission.
 
-The queue is the server's front door.  Three properties matter:
+The queue is the server's front door.  Four properties matter:
 
-* **Priority** — entries are a min-heap on ``(priority, sequence)``: lower
-  ``priority`` values run first, ties run in submission order, so the queue
-  degrades to FIFO when every caller uses the default priority.
+* **Priority** — entries are organised into priority classes: lower
+  ``priority`` values run first, ties run in submission order within a
+  tenant, so the queue degrades to FIFO when every caller uses the default
+  priority and tenant.
+* **Tenant fairness** — within a priority class, tickets are dequeued with
+  *deficit round-robin* across tenants: each tenant accumulates credit
+  proportional to its configured weight and spends one credit per dequeue.
+  A weight-3 tenant gets three dequeues for every one a weight-1 tenant
+  gets, regardless of how deep either backlog is — one noisy neighbour can
+  no longer starve everyone else inside the same class.
 * **Coalescing** — a :class:`~repro.service.jobs.CompileJob` is content-
   addressed by :attr:`~repro.service.jobs.CompileJob.key`, so two concurrent
   submissions of the same spec are *the same work*.  While a key is queued or
   running, further submissions attach to the existing :class:`JobTicket`
   instead of enqueuing a duplicate; every waiter sees the one shared outcome.
-  This is the conflict-avoidance idea: identical in-flight requests never
-  collide on the workers.
-* **Admission control** — ``max_depth`` bounds the number of *queued* (not yet
-  running) entries; beyond it :meth:`submit` raises :class:`QueueFullError`,
-  which the HTTP layer maps to ``429 Too Many Requests``.  A bounded queue
-  keeps latency honest under overload instead of buffering unboundedly.
+  Coalescing works *across* tenants — the computation is shared, while the
+  metrics layer still attributes each submission to its own tenant.
+* **Admission control** — ``max_depth`` bounds the number of *queued* (not
+  yet running) entries; beyond it :meth:`submit` raises
+  :class:`QueueFullError`, which the HTTP layer maps to ``429``.  On top of
+  the global bound, per-tenant quotas bound how much of the queue one tenant
+  may occupy: a tenant at its quota gets :class:`TenantQuotaError` (a
+  :class:`QueueFullError`, so clients retry it the same way) while everyone
+  else keeps being admitted.
 """
 
 from __future__ import annotations
@@ -24,16 +34,37 @@ import heapq
 import itertools
 import threading
 import time
+from collections import deque
 
 from repro.obs.trace import current_trace
+from repro.server.tenancy import DEFAULT_TENANT, normalize_tenant
 from repro.service.jobs import CompileJob, CompileOutcome
 
 #: Ticket lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
 
+#: Weights below this are clamped up so deficit round-robin always makes
+#: progress (a zero-weight tenant would never accumulate a full credit).
+_MIN_WEIGHT = 0.01
+
 
 class QueueFullError(RuntimeError):
     """Raised by :meth:`JobQueue.submit` when the queue is at ``max_depth``."""
+
+
+class TenantQuotaError(QueueFullError):
+    """One tenant's queued-jobs quota is exhausted.
+
+    Subclasses :class:`QueueFullError` so every existing overload path —
+    the HTTP 429 mapping, client retry-with-backoff — treats it as the same
+    transient condition; only the offending tenant is throttled.
+    """
+
+    def __init__(self, tenant: str, quota: int):
+        super().__init__(f"tenant {tenant!r} is at its quota "
+                         f"({quota} queued jobs); retry later")
+        self.tenant = tenant
+        self.quota = quota
 
 
 class QueueClosedError(RuntimeError):
@@ -46,13 +77,17 @@ class JobTicket:
     A ticket is created by the first submission of a job key and handed back
     to every later submission of the same key while the job is in flight;
     all of them :meth:`wait` on the same event and read the same ``outcome``.
+    The ticket carries the *leader's* tenant — the follower submissions are
+    attributed to their own tenants by the metrics layer at admission time.
     """
 
-    def __init__(self, job: CompileJob, priority: int, sequence: int):
+    def __init__(self, job: CompileJob, priority: int, sequence: int,
+                 tenant: str = DEFAULT_TENANT):
         self.job = job
         self.key = job.key
         self.priority = priority
         self.sequence = sequence
+        self.tenant = tenant
         self.state = QUEUED
         self.outcome: CompileOutcome | None = None
         #: How many *extra* submissions attached to this ticket.
@@ -117,6 +152,7 @@ class JobTicket:
             "key": self.key,
             "status": self.state,
             "priority": self.priority,
+            "tenant": self.tenant,
             "kind": getattr(self.job, "kind", "compile"),
             "circuit": self.job.circuit_name,
             "device": self.job.device["name"],
@@ -132,8 +168,79 @@ class JobTicket:
         return record
 
 
+class _PriorityClass:
+    """Per-priority deficit-round-robin state: tenant FIFOs plus credits.
+
+    Classic DRR with a quantum of one job: when the tenant at the front of
+    the rotation has less than one credit it earns its weight, then serves
+    jobs (one credit each) until credit drops below one, at which point the
+    rotation advances.  A tenant whose FIFO empties forfeits leftover credit
+    — banking credit while idle would let a returning tenant burst past its
+    weight.
+    """
+
+    __slots__ = ("buckets", "rotation", "deficits")
+
+    def __init__(self):
+        self.buckets: dict[str, deque[JobTicket]] = {}
+        self.rotation: deque[str] = deque()
+        self.deficits: dict[str, float] = {}
+
+    def push(self, ticket: JobTicket) -> None:
+        bucket = self.buckets.get(ticket.tenant)
+        if bucket is None:
+            bucket = self.buckets[ticket.tenant] = deque()
+            self.rotation.append(ticket.tenant)
+        bucket.append(ticket)
+
+    def _drop_tenant(self, tenant: str) -> None:
+        self.rotation.popleft()
+        self.buckets.pop(tenant, None)
+        self.deficits.pop(tenant, None)
+
+    def pop(self, priority: int, weight_of) -> JobTicket | None:
+        """The next ticket by DRR order, or ``None`` if the class is drained.
+
+        Skips stale entries — tickets that already ran, or were escalated to
+        a different priority class (``ticket.priority`` moved on).
+        """
+        while self.rotation:
+            tenant = self.rotation[0]
+            bucket = self.buckets.get(tenant)
+            while bucket and (bucket[0].state != QUEUED
+                              or bucket[0].priority != priority):
+                bucket.popleft()
+            if not bucket:
+                self._drop_tenant(tenant)
+                continue
+            deficit = self.deficits.get(tenant, 0.0)
+            if deficit < 1.0:
+                deficit += weight_of(tenant)
+            if deficit < 1.0:
+                # Fractional weight: bank the credit, come back next lap.
+                self.deficits[tenant] = deficit
+                self.rotation.rotate(-1)
+                continue
+            ticket = bucket.popleft()
+            deficit -= 1.0
+            if not bucket:
+                self._drop_tenant(tenant)
+            elif deficit < 1.0:
+                self.deficits[tenant] = deficit
+                self.rotation.rotate(-1)
+            else:
+                # Mid-turn: this tenant keeps the floor for the next pop.
+                self.deficits[tenant] = deficit
+            return ticket
+        return None
+
+    @property
+    def empty(self) -> bool:
+        return not self.rotation
+
+
 class JobQueue:
-    """Priority queue of :class:`JobTicket` with coalescing on the job key.
+    """Priority + tenant-fair queue of :class:`JobTicket` with coalescing.
 
     Parameters
     ----------
@@ -141,17 +248,42 @@ class JobQueue:
         Maximum number of queued (not yet running) tickets; ``None`` means
         unbounded.  Coalesced submissions never count against the bound —
         attaching to in-flight work is free by construction.
+    tenant_weights:
+        Tenant name → dequeue weight for deficit round-robin; unlisted
+        tenants weigh ``1.0``.  Weights only shape *ordering inside a
+        priority class* — a more urgent class always drains first.
+    tenant_quotas:
+        Tenant name → maximum queued tickets for that tenant; a tenant at
+        its quota gets :class:`TenantQuotaError` while others are admitted.
+    default_tenant_quota:
+        Quota applied to tenants absent from ``tenant_quotas`` (``None``
+        means only the global ``max_depth`` bounds them).
     """
 
-    def __init__(self, max_depth: int | None = None):
+    def __init__(self, max_depth: int | None = None, *,
+                 tenant_weights: dict[str, float] | None = None,
+                 tenant_quotas: dict[str, int] | None = None,
+                 default_tenant_quota: int | None = None):
         if max_depth is not None and max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         self.max_depth = max_depth
-        # Heap entries may be stale: a priority escalation re-pushes its
-        # ticket and pop() skips entries whose ticket already left QUEUED,
-        # so `_queued` (distinct queued tickets) is the real depth.
-        self._heap: list[tuple[int, int, JobTicket]] = []
+        self.tenant_weights = {normalize_tenant(name): max(_MIN_WEIGHT,
+                                                           float(weight))
+                               for name, weight
+                               in (tenant_weights or {}).items()}
+        self.tenant_quotas = {normalize_tenant(name): int(quota)
+                              for name, quota
+                              in (tenant_quotas or {}).items()}
+        self.default_tenant_quota = default_tenant_quota
+        # One DRR state per priority value; `_priorities` is a heap holding
+        # exactly the priorities present in `_classes` (a drained class is
+        # removed from both together).  Stale tickets left behind by a
+        # priority escalation are skipped inside the class.
+        self._classes: dict[int, _PriorityClass] = {}
+        self._priorities: list[int] = []
         self._queued = 0
+        self._queued_by_tenant: dict[str, int] = {}
+        self._throttles_by_tenant: dict[str, int] = {}
         #: Tickets that can still be coalesced onto (queued or running).
         self._in_flight: dict[str, JobTicket] = {}
         self._lock = threading.Lock()
@@ -185,9 +317,33 @@ class JobQueue:
     def closed(self) -> bool:
         return self._closed
 
+    def tenant_depths(self) -> dict[str, int]:
+        """Queued tickets per tenant (running tickets excluded)."""
+        with self._lock:
+            return dict(self._queued_by_tenant)
+
+    def tenant_throttles(self) -> dict[str, int]:
+        """Quota rejections per tenant over this queue's lifetime."""
+        with self._lock:
+            return dict(self._throttles_by_tenant)
+
+    def _weight(self, tenant: str) -> float:
+        return self.tenant_weights.get(tenant, 1.0)
+
+    def _quota(self, tenant: str) -> int | None:
+        return self.tenant_quotas.get(tenant, self.default_tenant_quota)
+
     # ------------------------------------------------------------------ #
-    def submit(self, job: CompileJob, priority: int = 0
-               ) -> tuple[JobTicket, bool]:
+    def _enqueue(self, ticket: JobTicket, priority: int) -> None:
+        """Place ``ticket`` into its priority class (lock held)."""
+        cls = self._classes.get(priority)
+        if cls is None:
+            cls = self._classes[priority] = _PriorityClass()
+            heapq.heappush(self._priorities, priority)
+        cls.push(ticket)
+
+    def submit(self, job: CompileJob, priority: int = 0,
+               tenant: str = DEFAULT_TENANT) -> tuple[JobTicket, bool]:
         """Enqueue ``job`` (or attach to its in-flight twin).
 
         Returns ``(ticket, coalesced)``: ``coalesced`` is ``True`` when the
@@ -195,7 +351,10 @@ class JobQueue:
         job key instead of enqueuing new work.  A coalesced submission with a
         *more urgent* priority escalates the queued ticket to it, so an
         urgent client is never held back by its earlier, lazier twin.
+        Coalescing crosses tenant boundaries — the ticket keeps the leader's
+        tenant and the follower's submission is free of quota charges.
         """
+        tenant = normalize_tenant(tenant)
         with self._not_empty:
             if self._closed:
                 raise QueueClosedError("queue is closed to new submissions")
@@ -203,51 +362,75 @@ class JobQueue:
             if ticket is not None:
                 ticket.coalesced += 1
                 if ticket.state == QUEUED and priority < ticket.priority:
-                    # Escalate: re-push at the better priority; the old heap
-                    # entry goes stale and pop() skips it.
+                    # Escalate: re-push into the better class; the entry left
+                    # behind goes stale (priority mismatch) and is skipped.
                     ticket.priority = priority
-                    heapq.heappush(self._heap,
-                                   (priority, next(self._sequence), ticket))
+                    self._enqueue(ticket, priority)
                     self._not_empty.notify()
                 return ticket, True
+            quota = self._quota(tenant)
+            if (quota is not None
+                    and self._queued_by_tenant.get(tenant, 0) >= quota):
+                self._throttles_by_tenant[tenant] = (
+                    self._throttles_by_tenant.get(tenant, 0) + 1)
+                raise TenantQuotaError(tenant, quota)
             if self.max_depth is not None and self._queued >= self.max_depth:
                 raise QueueFullError(
                     f"queue is full ({self.max_depth} jobs deep); retry later")
-            ticket = JobTicket(job, priority, next(self._sequence))
-            heapq.heappush(self._heap, (priority, ticket.sequence, ticket))
+            ticket = JobTicket(job, priority, next(self._sequence), tenant)
+            self._enqueue(ticket, priority)
             self._queued += 1
+            self._queued_by_tenant[tenant] = (
+                self._queued_by_tenant.get(tenant, 0) + 1)
             self._in_flight[job.key] = ticket
             self._not_empty.notify()
             return ticket, False
 
+    def _pop_locked(self) -> JobTicket | None:
+        """The most urgent ticket by (priority, DRR) order, if any."""
+        while self._priorities:
+            priority = self._priorities[0]
+            cls = self._classes.get(priority)
+            ticket = cls.pop(priority, self._weight) if cls else None
+            if ticket is not None:
+                return ticket
+            # Class fully drained (or only stale entries): retire it.
+            heapq.heappop(self._priorities)
+            self._classes.pop(priority, None)
+        return None
+
     def pop(self, timeout: float | None = None) -> JobTicket | None:
         """Take the most urgent ticket, blocking up to ``timeout`` seconds.
 
-        Returns ``None`` on timeout, or when the queue is closed and (in
-        drain mode) empty.  The returned ticket is marked ``running`` and
-        remains coalescible until :meth:`finish`.
+        Within the winning priority class, tenants take turns by deficit
+        round-robin.  Returns ``None`` on timeout, or when the queue is
+        closed and (in drain mode) empty.  The returned ticket is marked
+        ``running`` and remains coalescible until :meth:`finish`.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while True:
-                while not self._heap:
-                    if self._closed:
-                        return None
-                    remaining = None
-                    if deadline is not None:
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0:
-                            return None
-                    self._not_empty.wait(remaining)
                 if self._closed and not self._drain:
                     return None
-                _, _, ticket = heapq.heappop(self._heap)
-                if ticket.state != QUEUED:
-                    continue  # stale duplicate left by a priority escalation
-                self._queued -= 1
-                ticket.state = RUNNING
-                ticket.started_at = time.monotonic()
-                return ticket
+                ticket = self._pop_locked()
+                if ticket is not None:
+                    self._queued -= 1
+                    count = self._queued_by_tenant.get(ticket.tenant, 1) - 1
+                    if count > 0:
+                        self._queued_by_tenant[ticket.tenant] = count
+                    else:
+                        self._queued_by_tenant.pop(ticket.tenant, None)
+                    ticket.state = RUNNING
+                    ticket.started_at = time.monotonic()
+                    return ticket
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
 
     def finish(self, ticket: JobTicket, outcome: CompileOutcome) -> None:
         """Complete ``ticket``, waking every coalesced waiter."""
@@ -275,12 +458,18 @@ class JobQueue:
     def flush(self, reason: str = "server stopped") -> int:
         """Fail every still-queued ticket so its waiters unblock."""
         with self._lock:
-            # Dedupe: escalations leave a ticket in the heap twice.
-            leftovers = list({id(ticket): ticket for _, _, ticket
-                              in self._heap
-                              if ticket.state == QUEUED}.values())
-            self._heap.clear()
+            # Dedupe: escalations leave a ticket in two classes.
+            unique: dict[int, JobTicket] = {}
+            for cls in self._classes.values():
+                for bucket in cls.buckets.values():
+                    for ticket in bucket:
+                        if ticket.state == QUEUED:
+                            unique[id(ticket)] = ticket
+            leftovers = list(unique.values())
+            self._classes.clear()
+            self._priorities.clear()
             self._queued = 0
+            self._queued_by_tenant.clear()
             for ticket in leftovers:
                 if self._in_flight.get(ticket.key) is ticket:
                     del self._in_flight[ticket.key]

@@ -29,7 +29,9 @@ from repro.obs.profile import ProfileReport, SamplingProfiler
 from repro.obs.trace import activate, current_trace, record_span, span
 from repro.server.metrics import ServerMetrics
 from repro.server.queue import (DONE, FAILED, JobQueue, JobTicket,
-                                QueueClosedError, QueueFullError)
+                                QueueClosedError, QueueFullError,
+                                TenantQuotaError)
+from repro.server.tenancy import DEFAULT_TENANT, normalize_tenant
 from repro.service.executor import CompilationService
 from repro.service.jobs import CompileJob, CompileOutcome
 
@@ -112,19 +114,27 @@ class Scheduler:
         return any(thread.is_alive() for thread in self._threads)
 
     # ------------------------------------------------------------------ #
-    def submit(self, job: CompileJob, priority: int = 0
-               ) -> tuple[JobTicket, bool]:
+    def submit(self, job: CompileJob, priority: int = 0,
+               tenant: str = DEFAULT_TENANT) -> tuple[JobTicket, bool]:
         """Admit one job (or coalesce onto its in-flight twin).
 
         Raises :class:`QueueFullError` / :class:`QueueClosedError` exactly as
-        the queue does; rejections are counted before re-raising.
+        the queue does; rejections are counted before re-raising.  Admission
+        counters are attributed to the *submitting* tenant — so a coalesced
+        cross-tenant submission still shows up under its own tenant even
+        though the shared computation belongs to the leader.
         """
+        tenant = normalize_tenant(tenant)
         try:
-            ticket, coalesced = self.queue.submit(job, priority)
-        except (QueueFullError, QueueClosedError):
-            self.metrics.increment("rejected")
+            ticket, coalesced = self.queue.submit(job, priority, tenant)
+        except TenantQuotaError:
+            self.metrics.increment("throttled", tenant=tenant)
             raise
-        self.metrics.increment("coalesced" if coalesced else "submitted")
+        except (QueueFullError, QueueClosedError):
+            self.metrics.increment("rejected", tenant=tenant)
+            raise
+        self.metrics.increment("coalesced" if coalesced else "submitted",
+                               tenant=tenant)
         if not coalesced:
             self._remember(ticket)
         return ticket, coalesced
@@ -208,7 +218,8 @@ class Scheduler:
                 ticket.wait_seconds, ticket.service_seconds,
                 ok=outcome.ok, cache_hit=outcome.cache_hit,
                 trace_id=(ticket.trace.trace_id
-                          if ticket.trace is not None else None))
+                          if ticket.trace is not None else None),
+                tenant=ticket.tenant)
             if (outcome.ok and not outcome.cache_hit and outcome.summary
                     and "portfolio" in outcome.summary):
                 # A cache replay embeds the original run's stats; only count
@@ -239,9 +250,9 @@ class Scheduler:
         record_span("queue.wait", trace=context,
                     start=ticket.submitted_wall, end=picked_up,
                     job_key=ticket.key, priority=ticket.priority,
-                    coalesced=ticket.coalesced)
+                    tenant=ticket.tenant, coalesced=ticket.coalesced)
         with activate(context):
-            with span("job.execute", job_key=ticket.key,
+            with span("job.execute", job_key=ticket.key, tenant=ticket.tenant,
                       kind=getattr(ticket.job, "kind", "compile")) as entry:
                 outcome, report = self._execute(ticket.job)
                 entry.attributes["status"] = outcome.status
@@ -255,6 +266,7 @@ class Scheduler:
                                 job_key=ticket.key,
                                 profile=report.as_dict())
                     _LOG.warning("slow_job_profiled", job_key=ticket.key,
+                                 tenant=ticket.tenant,
                                  service_s=round(service_s, 6),
                                  samples=report.samples)
         return outcome

@@ -1,0 +1,42 @@
+"""Tenant identity: the wire header, normalisation and label hygiene.
+
+A *tenant* is the unit of multi-user accounting through the stack: clients
+mint the ``X-Repro-Tenant`` header, the server stamps it on the
+:class:`~repro.server.queue.JobTicket`, the queue schedules across tenants
+with deficit round-robin, and metrics render it as a Prometheus label.
+
+Tenant names double as Prometheus label values and as tokens inside the
+``name{label="value"}`` sample lines parsed with ``rpartition`` — so the
+charset is deliberately strict: letters, digits, ``_``, ``.``, ``-``, at
+most 64 characters, starting alphanumeric.  Anything else (including a
+missing or empty header, i.e. every legacy payload) normalises to
+``"default"`` rather than erroring, so old clients and new shards
+interoperate without a flag day.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: HTTP header carrying the tenant identity end-to-end.
+TENANT_HEADER = "X-Repro-Tenant"
+
+#: The tenant every unlabelled submission is accounted to.
+DEFAULT_TENANT = "default"
+
+_TENANT_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.\-]{0,63}\Z")
+
+
+def normalize_tenant(value: object | None) -> str:
+    """Map any caller-supplied tenant value onto a safe label.
+
+    ``None``, empty strings and anything outside the allowed charset all
+    become :data:`DEFAULT_TENANT` — a malformed header must never make a
+    submission fail, only fold it into the shared bucket.
+    """
+    if value is None:
+        return DEFAULT_TENANT
+    text = str(value).strip()
+    if not text or _TENANT_RE.match(text) is None:
+        return DEFAULT_TENANT
+    return text
