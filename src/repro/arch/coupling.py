@@ -48,6 +48,7 @@ class CouplingGraph:
             self.add_edge(a, b)
         self.coordinates: dict[int, tuple[int, int]] = dict(coordinates or {})
         self._distance: np.ndarray | None = None
+        self._predecessor: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -63,6 +64,7 @@ class CouplingGraph:
         self._adjacency[b].add(a)
         self._edges.add((min(a, b), max(a, b)))
         self._distance = None
+        self._predecessor = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -126,10 +128,47 @@ class CouplingGraph:
         """Shortest hop count between two physical qubits."""
         return int(self.distance_matrix()[a, b])
 
+    def predecessor_matrix(self) -> np.ndarray:
+        """All-pairs BFS predecessors ``P`` (``P[s, t]`` = penultimate node on
+        the shortest ``s → t`` path), cached.
+
+        The per-source BFS visits neighbours in *sorted* order — exactly the
+        order :meth:`shortest_path` uses — so a walk over this matrix
+        reproduces the per-call BFS path node-for-node.  Unreachable targets
+        (and ``t == s``) hold ``-1``.
+        """
+        if self._predecessor is None:
+            n = self.num_qubits
+            sorted_adjacency = [sorted(s) for s in self._adjacency]
+            pred = np.full((n, n), -1, dtype=np.int64)
+            for source in range(n):
+                seen = bytearray(n)
+                seen[source] = 1
+                frontier = deque([source])
+                while frontier:
+                    node = frontier.popleft()
+                    for nxt in sorted_adjacency[node]:
+                        if not seen[nxt]:
+                            seen[nxt] = 1
+                            pred[source, nxt] = node
+                            frontier.append(nxt)
+            self._predecessor = pred
+        return self._predecessor
+
     def shortest_path(self, a: int, b: int) -> list[int]:
         """One shortest path from ``a`` to ``b`` (inclusive); used by the trivial router."""
         if a == b:
             return [a]
+        if self._predecessor is not None:
+            # Warm path: walk the cached predecessor matrix backwards from
+            # ``b`` — same path the BFS below would find (same visit order).
+            row = self._predecessor[a]
+            if row[b] < 0:
+                raise ValueError(f"qubits {a} and {b} are not connected")
+            path = [b]
+            while path[-1] != a:
+                path.append(int(row[path[-1]]))
+            return list(reversed(path))
         parent: dict[int, int] = {a: a}
         frontier = deque([a])
         while frontier:

@@ -65,6 +65,10 @@ class DeviceAnalysis:
     #: All-pairs shortest-path matrix (hops); disconnected pairs hold
     #: :data:`repro.arch.coupling.UNREACHABLE`.
     distance: np.ndarray
+    #: All-pairs BFS predecessor matrix (``predecessor[s, t]`` = penultimate
+    #: node on the shortest ``s → t`` path, ``-1`` when unreachable/trivial);
+    #: lets ``shortest_path`` become an array walk instead of a BFS per call.
+    predecessor: np.ndarray
     #: ``neighbors[q]`` — sorted physical neighbours of qubit ``q``.
     neighbors: tuple[tuple[int, ...], ...]
     #: ``degrees[q]`` — coupling degree of qubit ``q``.
@@ -97,7 +101,7 @@ class AnalysisStats:
 
 
 _lock = threading.Lock()
-_distance_cache: dict[tuple, np.ndarray] = {}
+_distance_cache: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 _analysis_cache: dict[tuple, DeviceAnalysis] = {}
 stats = AnalysisStats()
 
@@ -108,16 +112,26 @@ def _evict_oldest(cache: dict, limit: int) -> None:
         stats.evictions += 1
 
 
-def _distance_matrix(device: Device, topology_key: tuple) -> np.ndarray:
-    """The shared distance matrix for a topology, computing it at most once."""
+def _touch(cache: dict, key) -> None:
+    """Move a hit to the back so eviction order is true LRU, not insertion
+    order — a hot device model must survive a parade of one-shot specs."""
+    cache[key] = cache.pop(key)
+
+
+def _topology_arrays(device: Device,
+                     topology_key: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Shared (distance, predecessor) matrices for a topology, computed at
+    most once."""
     cached = _distance_cache.get(topology_key)
     if cached is not None:
         stats.distance_reuses += 1
+        _touch(_distance_cache, topology_key)
         return cached
-    matrix = device.coupling.distance_matrix()
+    arrays = (device.coupling.distance_matrix(),
+              device.coupling.predecessor_matrix())
     _evict_oldest(_distance_cache, _DISTANCE_CACHE_LIMIT)
-    _distance_cache[topology_key] = matrix
-    return matrix
+    _distance_cache[topology_key] = arrays
+    return arrays
 
 
 def analyze(device: Device) -> DeviceAnalysis:
@@ -132,15 +146,18 @@ def analyze(device: Device) -> DeviceAnalysis:
         analysis = _analysis_cache.get(key)
         if analysis is not None:
             stats.hits += 1
+            _touch(_analysis_cache, key)
             _prime(device, analysis)
             return analysis
         stats.misses += 1
-        distance = _distance_matrix(device, coupling_fingerprint(device))
+        distance, predecessor = _topology_arrays(device,
+                                                 coupling_fingerprint(device))
         finite = distance[distance < UNREACHABLE]
         analysis = DeviceAnalysis(
             fingerprint=key,
             num_qubits=device.num_qubits,
             distance=distance,
+            predecessor=predecessor,
             neighbors=tuple(
                 tuple(sorted(device.coupling.neighbors(q)))
                 for q in range(device.num_qubits)),
@@ -157,9 +174,11 @@ def analyze(device: Device) -> DeviceAnalysis:
 
 
 def _prime(device: Device, analysis: DeviceAnalysis) -> None:
-    """Point the device's own distance memo at the shared matrix."""
+    """Point the device's own distance/predecessor memos at the shared arrays."""
     if device.coupling._distance is None:
         device.coupling._distance = analysis.distance
+    if device.coupling._predecessor is None:
+        device.coupling._predecessor = analysis.predecessor
 
 
 def clear_cache() -> None:

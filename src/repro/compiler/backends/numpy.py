@@ -1,0 +1,283 @@
+"""The ``numpy`` backend: vectorized swap-scoring kernels.
+
+Every kernel replaces the scalar per-gate/per-candidate ``coupling.distance``
+calls (python attribute lookups + numpy scalar indexing + ``int()`` each)
+with one flat gather over the device's cached distance matrix, broadcast over
+all candidate edges at once:
+
+* a candidate SWAP ``(x, y)`` moves a physical operand ``p`` to
+  ``where(p == x, y, where(p == y, x, p))`` — no ``Layout`` copies, no
+  ``O(N log N)`` permutation re-validation per candidate;
+* CODAR's ``H_basic``/``H_fine``/lookahead, SABRE's front/extended cost and
+  A*'s pair-distance bound all become ``(C, G)`` gathers and row sums;
+* ``shortest_path`` walks the cached predecessor matrix
+  (:meth:`~repro.arch.coupling.CouplingGraph.predecessor_matrix`) instead of
+  running a BFS per call.
+
+Bit-exactness with the ``python`` backend is a hard requirement (the
+differential suite asserts identical scores, chosen swaps and routed
+circuits): integer terms are summed in int64, and the float terms mirror the
+scalar evaluation order operation for operation — including building the
+lookahead weights by iterated multiplication rather than ``decay ** k``, so
+non-dyadic decay values round identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.coupling import CouplingGraph
+from repro.core.gates import Gate
+from repro.compiler.backends.base import RouterBackend
+from repro.mapping.codar.priority import SwapPriority
+from repro.mapping.layout import Layout
+
+
+@dataclass
+class _Geometry:
+    """Per-coupling arrays the kernels gather over (built once per graph)."""
+
+    n: int
+    #: Row-major flattened distance matrix (``D[a, b] == dflat[a * n + b]``).
+    dflat: np.ndarray
+    row: np.ndarray
+    col: np.ndarray
+    has_coord: np.ndarray
+
+
+def _empty_int() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+def _operand_arrays(gates: Sequence[Gate]) -> tuple[np.ndarray, np.ndarray]:
+    """Logical operand index vectors ``(first, second)`` of two-qubit gates."""
+    count = len(gates)
+    if count == 0:
+        return _empty_int(), _empty_int()
+    first = np.fromiter((g.qubits[0] for g in gates), dtype=np.int64,
+                        count=count)
+    second = np.fromiter((g.qubits[1] for g in gates), dtype=np.int64,
+                         count=count)
+    return first, second
+
+
+class NumpyBackend(RouterBackend):
+    """Array-gather scoring over the cached DeviceAnalysis matrices."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    def _geometry(self, coupling: CouplingGraph) -> _Geometry:
+        matrix = coupling.distance_matrix()
+        cached = getattr(coupling, "_numpy_backend_geometry", None)
+        if cached is not None and cached[0] is matrix:
+            return cached[1]
+        n = coupling.num_qubits
+        row = np.zeros(n, dtype=np.int64)
+        col = np.zeros(n, dtype=np.int64)
+        has_coord = np.zeros(n, dtype=bool)
+        for qubit, (r, c) in coupling.coordinates.items():
+            row[qubit] = r
+            col[qubit] = c
+            has_coord[qubit] = True
+        geometry = _Geometry(n=n,
+                             dflat=np.ascontiguousarray(matrix).reshape(-1),
+                             row=row, col=col, has_coord=has_coord)
+        coupling._numpy_backend_geometry = (matrix, geometry)
+        return geometry
+
+    @staticmethod
+    def _swapped(positions: np.ndarray, x: np.ndarray,
+                 y: np.ndarray) -> np.ndarray:
+        """Physical positions after each candidate SWAP: (C, G) from (G,)."""
+        return np.where(positions == x, y,
+                        np.where(positions == y, x, positions))
+
+    # ------------------------------------------------------------------ #
+    # CODAR
+    # ------------------------------------------------------------------ #
+    def _codar_score_arrays(self, coupling: CouplingGraph, layout: Layout,
+                            candidates: Sequence[tuple[int, int]],
+                            target_gates: Sequence[Gate],
+                            use_fine: bool,
+                            lookahead_gates: Sequence[Gate],
+                            lookahead_decay: float
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        geometry = self._geometry(coupling)
+        n, dflat = geometry.n, geometry.dflat
+        physical_of = layout.as_arrays()[0]
+        cand = np.asarray(candidates, dtype=np.int64).reshape(-1, 2)
+        num_candidates = cand.shape[0]
+        x = cand[:, 0:1]
+        y = cand[:, 1:2]
+
+        basic = np.zeros(num_candidates, dtype=np.int64)
+        fine = np.zeros(num_candidates, dtype=np.float64)
+        if target_gates:
+            ga, gb = _operand_arrays(target_gates)
+            pa = physical_of[ga]
+            pb = physical_of[gb]
+            pa2 = self._swapped(pa, x, y)
+            pb2 = self._swapped(pb, x, y)
+            # Untouched gates contribute exactly 0 to H_basic (before == after)
+            # so the row sum needs no mask there; H_fine is evaluated on the
+            # swapped layout and is only accumulated for touched gates, so it
+            # does need one (the scalar loop skips untouched gates entirely).
+            basic = (dflat[pa * n + pb] - dflat[pa2 * n + pb2]).sum(axis=1)
+            if use_fine and coupling.has_coordinates:
+                touched = (pa2 != pa) | (pb2 != pb)
+                imbalance = np.abs(np.abs(geometry.row[pa2]
+                                          - geometry.row[pb2])
+                                   - np.abs(geometry.col[pa2]
+                                            - geometry.col[pb2]))
+                known = geometry.has_coord[pa2] & geometry.has_coord[pb2]
+                fine = -np.where(touched & known, imbalance, 0
+                                 ).sum(axis=1).astype(np.float64)
+
+        lookahead = np.zeros(num_candidates, dtype=np.float64)
+        if lookahead_gates:
+            la, lb = _operand_arrays(lookahead_gates)
+            qa = physical_of[la]
+            qb = physical_of[lb]
+            qa2 = self._swapped(qa, x, y)
+            qb2 = self._swapped(qb, x, y)
+            diff = (dflat[qa * n + qb]
+                    - dflat[qa2 * n + qb2]).astype(np.float64)
+            touched = (qa2 != qa) | (qb2 != qb)
+            # weights[k] = decay ** k via iterated multiplication — the exact
+            # float recurrence of the scalar loop (``weight *= decay``).
+            count = len(lookahead_gates)
+            weights = np.ones(count, dtype=np.float64)
+            if count > 1:
+                weights[1:] = np.multiply.accumulate(
+                    np.full(count - 1, lookahead_decay, dtype=np.float64))
+            lookahead = (np.where(touched, diff, 0.0) * weights).sum(axis=1)
+        return basic, fine, lookahead
+
+    def codar_swap_scores(self, coupling: CouplingGraph, layout: Layout,
+                          candidates: Sequence[tuple[int, int]],
+                          target_gates: Sequence[Gate], *,
+                          use_fine: bool = True,
+                          lookahead_gates: Sequence[Gate] = (),
+                          lookahead_decay: float = 0.5
+                          ) -> list[SwapPriority]:
+        if not candidates:
+            return []
+        basic, fine, lookahead = self._codar_score_arrays(
+            coupling, layout, candidates, target_gates, use_fine,
+            lookahead_gates, lookahead_decay)
+        return [SwapPriority(basic=int(basic[i]), fine=float(fine[i]),
+                             lookahead=float(lookahead[i]))
+                for i in range(len(candidates))]
+
+    def codar_best_swap(self, coupling: CouplingGraph, layout: Layout,
+                        candidates: Sequence[tuple[int, int]],
+                        target_gates: Sequence[Gate], *,
+                        use_fine: bool = True,
+                        lookahead_gates: Sequence[Gate] = (),
+                        lookahead_decay: float = 0.5
+                        ) -> "tuple[tuple[int, int], SwapPriority] | None":
+        if not candidates:
+            return None
+        basic, fine, lookahead = self._codar_score_arrays(
+            coupling, layout, candidates, target_gates, use_fine,
+            lookahead_gates, lookahead_decay)
+        if len(candidates) == 1:
+            index = 0
+        else:
+            cand = np.asarray(candidates, dtype=np.int64)
+            # Lexicographic max of (basic, fine, lookahead), smallest edge on
+            # ties — identical to the base-class comparison loop.
+            index = int(np.lexsort((cand[:, 1], cand[:, 0], -lookahead,
+                                    -fine, -basic))[0])
+        priority = SwapPriority(basic=int(basic[index]),
+                                fine=float(fine[index]),
+                                lookahead=float(lookahead[index]))
+        return tuple(candidates[index]), priority
+
+    # ------------------------------------------------------------------ #
+    # SABRE
+    # ------------------------------------------------------------------ #
+    def _sabre_cost_array(self, coupling: CouplingGraph, layout: Layout,
+                          candidates: Sequence[tuple[int, int]],
+                          front_gates: Sequence[Gate],
+                          extended_gates: Sequence[Gate],
+                          decay: Sequence[float],
+                          extended_weight: float) -> np.ndarray:
+        geometry = self._geometry(coupling)
+        n, dflat = geometry.n, geometry.dflat
+        physical_of = layout.as_arrays()[0]
+        cand = np.asarray(candidates, dtype=np.int64).reshape(-1, 2)
+        x = cand[:, 0:1]
+        y = cand[:, 1:2]
+
+        def mean_swapped_distance(gates: Sequence[Gate]) -> np.ndarray:
+            ga, gb = _operand_arrays(gates)
+            pa2 = self._swapped(physical_of[ga], x, y)
+            pb2 = self._swapped(physical_of[gb], x, y)
+            return dflat[pa2 * n + pb2].sum(axis=1).astype(np.float64)
+
+        terms = np.zeros(cand.shape[0], dtype=np.float64)
+        if front_gates:
+            terms = mean_swapped_distance(front_gates) / len(front_gates)
+        if extended_gates:
+            # Same op order as the scalar code: (weight * total) / count.
+            terms = terms + ((extended_weight
+                              * mean_swapped_distance(extended_gates))
+                             / len(extended_gates))
+        decay_arr = np.asarray(decay, dtype=np.float64)
+        factor = np.maximum(decay_arr[cand[:, 0]], decay_arr[cand[:, 1]])
+        return factor * terms
+
+    def sabre_scores(self, coupling: CouplingGraph, layout: Layout,
+                     candidates: Sequence[tuple[int, int]],
+                     front_gates: Sequence[Gate],
+                     extended_gates: Sequence[Gate],
+                     decay: Sequence[float],
+                     extended_weight: float = 0.5) -> list[float]:
+        if not candidates:
+            return []
+        return self._sabre_cost_array(coupling, layout, candidates,
+                                      front_gates, extended_gates, decay,
+                                      extended_weight).tolist()
+
+    def sabre_best_swap(self, coupling: CouplingGraph, layout: Layout,
+                        candidates: Sequence[tuple[int, int]],
+                        front_gates: Sequence[Gate],
+                        extended_gates: Sequence[Gate],
+                        decay: Sequence[float],
+                        extended_weight: float = 0.5
+                        ) -> "tuple[tuple[int, int], float] | None":
+        if not candidates:
+            return None
+        cost = self._sabre_cost_array(coupling, layout, candidates,
+                                      front_gates, extended_gates, decay,
+                                      extended_weight)
+        # argmin keeps the first minimum; candidates arrive sorted, so this is
+        # the same smallest-edge tie-break as the scalar loop.
+        index = int(np.argmin(cost))
+        return tuple(candidates[index]), float(cost[index])
+
+    # ------------------------------------------------------------------ #
+    # A* / paths
+    # ------------------------------------------------------------------ #
+    def pairs_distance(self, coupling: CouplingGraph, layout: Layout,
+                       pairs: Sequence[tuple[int, int]]) -> int:
+        if not pairs:
+            return 0
+        geometry = self._geometry(coupling)
+        physical_of = layout.as_arrays()[0]
+        index = np.asarray(pairs, dtype=np.int64)
+        pa = physical_of[index[:, 0]]
+        pb = physical_of[index[:, 1]]
+        return int(geometry.dflat[pa * geometry.n + pb].sum()) - len(pairs)
+
+    def shortest_path(self, coupling: CouplingGraph, a: int, b: int
+                      ) -> list[int]:
+        # Force the predecessor matrix so the walk replaces the per-call BFS;
+        # the path is identical (the matrix BFS visits in the same order).
+        coupling.predecessor_matrix()
+        return coupling.shortest_path(a, b)

@@ -1,0 +1,102 @@
+"""Content-addressed parsed-circuit cache (process-wide, bounded LRU).
+
+Parsing OpenQASM is a pure function of the text, yet the serving stack parses
+the same program over and over: every job ships its circuit as QASM (that is
+what makes jobs declarative), so a hot circuit resubmitted by thousands of
+clients pays the full tokenizer/parser cost each time — the benchmark suite
+shows the parse stage costing the same warm as cold.
+
+:func:`parse_cached` fixes that with a process-wide LRU keyed by the sha256
+of the QASM text (the same content-addressing recipe the job keys use).  The
+cache stores a private *master* :class:`~repro.core.circuit.Circuit` and
+hands out shallow copies (:meth:`Circuit.copy` — fresh gate list, shared
+immutable :class:`~repro.core.gates.Gate` values), so callers may append to
+or rename their circuit without poisoning the cache.  Parse *errors* are not
+cached: a malformed payload re-raises on every submission, as it should.
+
+Stats are exported through the server's /metrics endpoint
+(``repro_server_parse_cache_*``); :func:`clear_cache` resets state for tests
+and cold-path benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.circuit import Circuit
+from repro.qasm.parser import parse_qasm
+
+#: Bounded entry count — far above any realistic hot-circuit working set.
+_CACHE_LIMIT = 256
+
+
+@dataclass
+class ParseCacheStats:
+    """Cache counters (exposed via /metrics and :func:`cache_stats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+_lock = threading.Lock()
+_cache: "OrderedDict[str, Circuit]" = OrderedDict()
+stats = ParseCacheStats()
+
+
+def qasm_key(qasm: str) -> str:
+    """Content address of a QASM text (sha256 hex digest)."""
+    return hashlib.sha256(qasm.encode("utf-8")).hexdigest()
+
+
+def parse_cached_info(qasm: str, name: str = "qasm_circuit"
+                      ) -> tuple[Circuit, bool]:
+    """:func:`parse_cached` plus whether the text was already cached."""
+    key = qasm_key(qasm)
+    with _lock:
+        master = _cache.get(key)
+        if master is not None:
+            stats.hits += 1
+            _cache.move_to_end(key)
+            return master.copy(name=name), True
+    circuit = parse_qasm(qasm, name=name)  # outside the lock; may raise
+    with _lock:
+        stats.misses += 1
+        if key not in _cache:
+            while len(_cache) >= _CACHE_LIMIT:
+                _cache.popitem(last=False)
+                stats.evictions += 1
+            _cache[key] = circuit.copy()
+    return circuit, False
+
+
+def parse_cached(qasm: str, name: str = "qasm_circuit") -> Circuit:
+    """Parse ``qasm`` through the process-wide cache.
+
+    Returns a fresh :class:`Circuit` copy on every call (hit or miss) carrying
+    the requested ``name``; the cached master is never exposed.
+    """
+    return parse_cached_info(qasm, name=name)[0]
+
+
+def clear_cache() -> None:
+    """Drop every cached circuit and reset the counters (tests/benchmarks)."""
+    global stats
+    with _lock:
+        _cache.clear()
+        stats = ParseCacheStats()
+
+
+def cache_stats() -> dict:
+    """Snapshot of the counters plus the current entry count."""
+    with _lock:
+        data = stats.as_dict()
+        data["entries"] = len(_cache)
+        return data

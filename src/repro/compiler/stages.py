@@ -63,23 +63,34 @@ class Pass(abc.ABC):
 # --------------------------------------------------------------------------- #
 class ParseStage(Pass):
     """OpenQASM text → :class:`~repro.core.circuit.Circuit` (no-op when the
-    pipeline was handed a live circuit)."""
+    pipeline was handed a live circuit).
+
+    Parsing goes through the process-wide content-addressed
+    :mod:`~repro.compiler.parse_cache`, so a hot circuit resubmitted as QASM
+    costs a sha256 + shallow copy instead of a full parse.  The cache is an
+    implementation detail, not a parameter: stage specs (and every pipeline
+    key derived from them) are unchanged.
+    """
 
     name = "parse"
 
     def run(self, context: PipelineContext) -> dict:
+        cache_hit = None
         if context.circuit is None:
             if context.qasm is None:
                 raise ValueError("parse stage has neither a circuit nor QASM "
                                  "text to parse")
-            from repro.qasm.parser import parse_qasm
+            from repro.compiler.parse_cache import parse_cached_info
 
-            context.circuit = parse_qasm(context.qasm,
-                                         name=context.circuit_name)
+            context.circuit, cache_hit = parse_cached_info(
+                context.qasm, name=context.circuit_name)
         if context.original is None:
             context.original = context.circuit
-        return {"gates": len(context.circuit),
-                "qubits": context.circuit.num_qubits}
+        metrics = {"gates": len(context.circuit),
+                   "qubits": context.circuit.num_qubits}
+        if cache_hit is not None:
+            metrics["cache_hit"] = cache_hit
+        return metrics
 
 
 class DecomposeStage(Pass):
@@ -190,11 +201,16 @@ class RouteStage(Pass):
     its registered name).  This stage carries the body of the old monolithic
     ``Router.run``: capacity/connectivity checks, the default layout
     fallback, timing, ASAP scheduling and result packaging.
+
+    ``backend`` selects the scoring backend (see
+    :mod:`repro.compiler.backends`) the router's inner loops run on.  It
+    joins ``params()`` — and therefore every pipeline/job key — **only when
+    set**, so pre-backend specs keep their historical keys byte-for-byte.
     """
 
     name = "route"
 
-    def __init__(self, router="codar"):
+    def __init__(self, router="codar", backend: "str | None" = None):
         from repro.mapping.base import Router
         from repro.service.registry import router_spec
 
@@ -209,9 +225,19 @@ class RouteStage(Pass):
         else:
             self._router = None
             self.router = router_spec(router)
+        if backend is not None:
+            from repro.compiler.backends import backend_names, has_backend
+
+            if not has_backend(backend):
+                raise ValueError(f"unknown backend {backend!r}; "
+                                 f"known: {backend_names()}")
+        self.backend = backend
 
     def params(self) -> dict:
-        return {"router": self.router}
+        params = {"router": self.router}
+        if self.backend is not None:
+            params["backend"] = self.backend
+        return params
 
     def _live_router(self):
         if self._router is None:
@@ -227,6 +253,9 @@ class RouteStage(Pass):
         circuit = context.require_circuit(self.name)
         device = context.device
         router = self._live_router()
+        if self.backend is not None:
+            router.backend = self.backend
+        effective_backend = getattr(router, "backend", None) or "python"
         if circuit.num_qubits > device.num_qubits:
             raise ValueError(
                 f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits "
@@ -254,6 +283,7 @@ class RouteStage(Pass):
         schedule = asap_schedule(routed, device.durations)
         if context.seed is not None:
             extra.setdefault("seed", context.seed)
+        extra.setdefault("backend", effective_backend)
         context.routing = RoutingResult(
             router_name=router.name,
             original=circuit,
@@ -271,8 +301,8 @@ class RouteStage(Pass):
         )
         context.circuit = routed
         context.schedule = schedule
-        return {"router": router.name, "swaps": swap_count,
-                "depth": context.routing.depth,
+        return {"router": router.name, "backend": effective_backend,
+                "swaps": swap_count, "depth": context.routing.depth,
                 "weighted_depth": schedule.makespan, "gates_out": len(routed)}
 
 

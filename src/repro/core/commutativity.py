@@ -159,6 +159,12 @@ class CommutativityChecker:
     def __init__(self, exact_fallback: bool = True):
         self._exact_fallback = exact_fallback
         self._cache: dict[tuple, bool] = {}
+        # Identity-level memo in front of the structural cache: routing asks
+        # about the same live Gate objects thousands of times, and building
+        # the structural key dominates the (always-hitting) lookup.  Entries
+        # keep references to both gates so an id() can never be recycled
+        # while its key is present.
+        self._pair_cache: dict[tuple[int, int], tuple[Gate, Gate, bool]] = {}
 
     def _key(self, a: Gate, b: Gate) -> tuple:
         # Canonicalise the qubit overlap pattern so distinct qubit indices with
@@ -173,14 +179,21 @@ class CommutativityChecker:
         )
 
     def commute(self, a: Gate, b: Gate) -> bool:
+        pair = (id(a), id(b))
+        hit = self._pair_cache.get(pair)
+        if hit is not None:
+            return hit[2]
         if not _shares_qubits(a, b) and not (a.is_barrier or b.is_barrier):
-            return True
-        key = self._key(a, b)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = gates_commute(a, b, exact_fallback=self._exact_fallback)
-            self._cache[key] = cached
-        return cached
+            verdict = True
+        else:
+            key = self._key(a, b)
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = gates_commute(a, b, exact_fallback=self._exact_fallback)
+                self._cache[key] = cached
+            verdict = cached
+        self._pair_cache[pair] = (a, b, verdict)
+        return verdict
 
 
 def commutative_front(gates: Sequence[Gate],

@@ -25,7 +25,6 @@ from repro.arch.coupling import CouplingGraph
 from repro.arch.devices import Device
 from repro.core.circuit import Circuit
 from repro.core.gates import Gate
-from repro.mapping.codar.priority import swap_priority
 from repro.mapping.codar.remapper import CodarConfig, CodarRouter
 
 
@@ -162,14 +161,13 @@ class NoiseAwareCodarRouter(CodarRouter):
     def _best_swap_with_fidelity(self, machine, candidates, unresolved,
                                  lookahead: list[Gate]):
         """Highest ``(H_basic, H_fine, lookahead, fidelity)`` candidate."""
+        priorities = self.kernels().codar_swap_scores(
+            machine.coupling, machine.layout, candidates, unresolved,
+            use_fine=self.config.use_fine_priority, lookahead_gates=lookahead)
         best_edge = None
         best_key = None
         best_priority = None
-        for edge in candidates:
-            priority = swap_priority(edge[0], edge[1], machine.coupling,
-                                     machine.layout, unresolved,
-                                     use_fine=self.config.use_fine_priority,
-                                     lookahead_gates=lookahead)
+        for edge, priority in zip(candidates, priorities):
             key = (priority.basic, priority.fine, priority.lookahead,
                    self.edge_fidelities.get(*edge), tuple(-q for q in edge))
             if best_key is None or key > best_key:

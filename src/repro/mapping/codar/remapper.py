@@ -39,7 +39,6 @@ from repro.core.commutativity import (CommutativityChecker, commutative_front,
                                       dependency_front)
 from repro.core.gates import Gate
 from repro.mapping.base import Router
-from repro.mapping.codar.priority import best_swap
 from repro.mapping.layout import Layout
 
 
@@ -102,9 +101,17 @@ class CodarRouter(Router):
         cycles = 0
         deadlocks = 0
 
+        # The CF front is a pure function of the gate sequence; ``remaining``
+        # is only rebound when gates launch, so cycles that merely insert
+        # SWAPs or advance the clock can reuse the previous front verbatim.
+        front_for: list[Gate] | None = None
+        front: list[int] = []
+
         while remaining:
             cycles += 1
-            front = self._front_indices(remaining, checker)
+            if remaining is not front_for:
+                front = self._front_indices(remaining, checker)
+                front_for = remaining
             launched_indices: list[int] = []
 
             # --- Step 2: launch every directly executable CF gate. -----------
@@ -125,6 +132,7 @@ class CodarRouter(Router):
                 # Launching gates may promote new gates into the CF set; expose
                 # them to the SWAP heuristic of this same cycle.
                 front = self._front_indices(remaining, checker)
+                front_for = remaining
 
             # --- Step 3: greedy SWAP insertion for blocked CF CNOTs. ----------
             # Candidate SWAPs are anchored on the CNOTs that connectivity still
@@ -216,14 +224,16 @@ class CodarRouter(Router):
                       require_positive: bool, limit: int | None = None,
                       lookahead: list[Gate] | None = None) -> int:
         """Greedy selection loop of Step 3; returns the number of SWAPs inserted."""
+        kernels = self.kernels()
         inserted = 0
         candidates = list(candidates)
         while candidates:
             if limit is not None and inserted >= limit:
                 break
-            choice = best_swap(candidates, machine.coupling, machine.layout,
-                               unresolved, use_fine=self.config.use_fine_priority,
-                               lookahead_gates=lookahead or [])
+            choice = kernels.codar_best_swap(
+                machine.coupling, machine.layout, candidates, unresolved,
+                use_fine=self.config.use_fine_priority,
+                lookahead_gates=lookahead or [])
             if choice is None:
                 break
             (phys_a, phys_b), priority = choice

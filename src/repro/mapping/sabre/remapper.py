@@ -35,7 +35,7 @@ from repro.core.dag import CircuitDag
 from repro.core.gates import Gate
 from repro.mapping.base import Router
 from repro.mapping.layout import Layout, initial_layout
-from repro.mapping.sabre.heuristic import EXTENDED_SET_WEIGHT, sabre_score
+from repro.mapping.sabre.heuristic import EXTENDED_SET_WEIGHT
 
 
 @dataclass
@@ -65,6 +65,7 @@ class SabreRouter(Router):
                layout: Layout) -> tuple[Circuit, Layout, int, dict]:
         config = self.config
         coupling = device.coupling
+        kernels = self.kernels()
         gates = [g for g in circuit.gates if not g.is_barrier]
         working = Circuit.from_gates(circuit.num_qubits, gates, name=circuit.name)
         dag = CircuitDag(working)
@@ -111,15 +112,9 @@ class SabreRouter(Router):
                 raise RuntimeError(
                     f"SABRE cannot route {circuit.name!r}: no candidate SWAPs "
                     "(is the coupling graph connected?)")
-            best_edge = None
-            best_cost = None
-            for edge in candidates:
-                cost = sabre_score(edge[0], edge[1], coupling, layout,
-                                   front_gates, extended_gates, decay,
-                                   config.extended_set_weight)
-                if best_cost is None or cost < best_cost or (
-                        cost == best_cost and edge < best_edge):
-                    best_edge, best_cost = edge, cost
+            best_edge, _cost = kernels.sabre_best_swap(
+                coupling, layout, candidates, front_gates, extended_gates,
+                decay, config.extended_set_weight)
             phys_a, phys_b = best_edge
             layout.swap_physical(phys_a, phys_b)
             routed.append(Gate("swap", (phys_a, phys_b), tag="routing"))

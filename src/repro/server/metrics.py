@@ -205,6 +205,8 @@ class ServerMetrics:
         self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}
         #: Portfolio wins per router name (a labeled counter).
         self._wins: dict[str, int] = {}
+        #: Executed jobs per router scoring backend (a labeled counter).
+        self._backend_jobs: dict[str, int] = {}
         #: Per-pipeline-stage cumulative wall-clock and run counts (labeled
         #: counters fed by the compiler pipeline's stage timing records).
         self._stage_seconds: dict[str, float] = {}
@@ -266,6 +268,21 @@ class ServerMetrics:
                 self._stage_seconds[name] = (self._stage_seconds.get(name, 0.0)
                                              + float(row.get("elapsed_s", 0.0)))
                 self._stage_runs[name] = self._stage_runs.get(name, 0) + 1
+
+    def observe_backend(self, backend: str) -> None:
+        """Record one executed job's router scoring backend.
+
+        ``backend`` comes from the routing summary's ``extra["backend"]``
+        (recorded by the route stage).  Cache replays should not be recorded
+        — the replay did not run any backend.
+        """
+        with self._lock:
+            self._backend_jobs[backend] = self._backend_jobs.get(backend, 0) + 1
+
+    def backend_jobs(self) -> dict[str, int]:
+        """Executed-job counts keyed by backend name (copy)."""
+        with self._lock:
+            return dict(self._backend_jobs)
 
     def stage_timings(self) -> dict[str, dict]:
         """Per-stage cumulative seconds and run counts (copy)."""
@@ -390,6 +407,7 @@ class ServerMetrics:
             data["service_seconds"] = self.service_seconds.as_dict()
             data["portfolio"] = dict(self._portfolio)
             data["portfolio"]["wins"] = dict(self._wins)
+            data["backends"] = dict(self._backend_jobs)
             data["stages"] = {name: {"runs": self._stage_runs[name],
                                      "seconds": round(
                                          self._stage_seconds[name], 6)}
@@ -398,12 +416,29 @@ class ServerMetrics:
                                for tenant in sorted(self._tenants)}
             gauges = {name: supplier() for name, supplier
                       in self._gauges.items()}
+        from repro.compiler.parse_cache import cache_stats as parse_cache_stats
+
+        data["parse_cache"] = parse_cache_stats()
         data.update(gauges)
         return data
 
     def to_prometheus(self, prefix: str = "repro_server") -> str:
         """Render every metric in the Prometheus text exposition format."""
+        from repro.compiler.parse_cache import cache_stats as parse_cache_stats
+
+        parse_cache = parse_cache_stats()  # own lock; fetched outside ours
         lines: list[str] = []
+        for name in ("hits", "misses", "evictions"):
+            metric = f"{prefix}_parse_cache_{name}_total"
+            lines.append(f"# HELP {metric} Parse-cache {name} since "
+                         "process start.")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {parse_cache[name]}")
+        metric = f"{prefix}_parse_cache_entries"
+        lines.append(f"# HELP {metric} Circuits currently held by the "
+                     "parse cache.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {parse_cache['entries']}")
         with self._lock:
             for name in self.COUNTERS:
                 metric = f"{prefix}_jobs_{name}_total"
@@ -429,6 +464,13 @@ class ServerMetrics:
             lines.append(f"# TYPE {metric} counter")
             for router in sorted(self._wins):
                 lines.append(f'{metric}{{router="{router}"}} {self._wins[router]}')
+            metric = f"{prefix}_backend_jobs_total"
+            lines.append(f"# HELP {metric} Executed jobs per router "
+                         "scoring backend.")
+            lines.append(f"# TYPE {metric} counter")
+            for backend in sorted(self._backend_jobs):
+                lines.append(f'{metric}{{backend="{backend}"}} '
+                             f'{self._backend_jobs[backend]}')
             metric = f"{prefix}_stage_seconds_total"
             lines.append(f"# HELP {metric} Cumulative pipeline-stage "
                          "execution seconds.")

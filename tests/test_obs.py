@@ -374,16 +374,21 @@ class TestHTTPTracePropagation:
         assert health["traces"]["spans"] >= 1
 
     def test_coalesced_follower_links_to_the_leader_trace(self):
-        # One worker, a slow filler occupying it: the twin submissions of
-        # the same key arrive while the leader is still queued, so the
-        # second coalesces instead of executing.
+        # Pause the scheduler so the leader is provably still queued when its
+        # twin arrives: the second submission must coalesce instead of
+        # executing.  The lone worker may already be blocked inside
+        # ``queue.pop`` when the gate clears and will still grab one ticket —
+        # the filler absorbs that pop (the worker re-checks the gate before
+        # popping again), so the leader cannot start until ``resume``.
         with CompileServer(port=0, workers=1) as server:
             client = CompileClient(server.url)
-            client.submit(_job(10))                   # filler holds the worker
+            server.scheduler.pause()
+            client.submit(_job(10))                   # absorbs the in-flight pop
             leader = client.submit(_job(6, seed=99))
             follower = client.submit(_job(6, seed=99))
             assert not leader["coalesced"]
             assert follower["coalesced"]
+            server.scheduler.resume()
             assert client.outcome(leader["key"], wait=True, timeout=60.0).ok
             follower_spans = client.trace(follower["trace_id"])["spans"]
             leader_spans = client.trace(leader["trace_id"])["spans"]

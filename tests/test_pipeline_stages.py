@@ -32,13 +32,17 @@ def equal_up_to_phase(circuit_a: Circuit, circuit_b: Circuit) -> bool:
 # --------------------------------------------------------------------------- #
 class TestParseStage:
     def test_parses_qasm_and_sets_original(self):
+        from repro.compiler import clear_parse_cache
+
+        clear_parse_cache()
         context = PipelineContext(device=get_device("line", num_qubits=3),
                                   qasm=circuit_to_qasm(ghz(3)),
                                   circuit_name="mine")
         metrics = ParseStage().run(context)
         assert context.circuit is not None
         assert context.original is context.circuit
-        assert metrics == {"gates": len(context.circuit), "qubits": 3}
+        assert metrics == {"gates": len(context.circuit), "qubits": 3,
+                           "cache_hit": False}
 
     def test_without_circuit_or_qasm_raises(self):
         context = PipelineContext(device=get_device("line", num_qubits=2))
