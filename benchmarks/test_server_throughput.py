@@ -100,7 +100,7 @@ def test_server_throughput_under_coalescing(paper_scale):
     herd = 8
     with CompileServer(port=0, workers=2, max_depth=None) as server:
         server.scheduler.pause()
-        time.sleep(0.2)  # let in-pop workers settle behind the pause gate
+        time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
         replies = []
         errors = []
         lock = threading.Lock()
@@ -125,7 +125,7 @@ def test_server_throughput_under_coalescing(paper_scale):
         while server.metrics.counter("coalesced") < len(jobs) * (herd - 1):
             assert not errors, errors[:1]
             assert time.monotonic() < deadline, "submissions never coalesced"
-            time.sleep(0.01)
+            time.sleep(0.01)  # sleep-ok: bounded poll for coalesced counter
         server.scheduler.resume()
         for thread in threads:
             thread.join(600.0)

@@ -89,7 +89,7 @@ from repro.portfolio import (Candidate, PortfolioResult, PortfolioRunner,
 from repro.obs import (SamplingProfiler, SpanStore, TraceContext, get_logger,
                        render_trace)
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "Circuit",

@@ -952,6 +952,12 @@ def _add_study_options(parser: argparse.ArgumentParser, max_qubits: int) -> None
                         help="largest benchmark (in qubits) included in the sweep")
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -1335,6 +1341,13 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--gates", type=int, nargs="+",
                          default=[100, 400, 1600])
     scaling.set_defaults(func=_cmd_scaling)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo's AST-based invariant checks")
+    from repro.devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

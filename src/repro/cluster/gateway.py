@@ -107,13 +107,14 @@ class GatewayMetrics:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self.requests = 0
-        self.failovers = 0
-        self.bad_requests = 0
-        self.unrouted = 0  # requests that exhausted every shard
-        self._shard_requests: dict[str, int] = {}
-        self._shard_failures: dict[str, int] = {}
-        self._tenant_requests: dict[str, int] = {}
+        self.requests = 0  #: guarded by self._lock
+        self.failovers = 0  #: guarded by self._lock
+        self.bad_requests = 0  #: guarded by self._lock
+        # Requests that exhausted every shard.
+        self.unrouted = 0  #: guarded by self._lock
+        self._shard_requests: dict[str, int] = {}  #: guarded by self._lock
+        self._shard_failures: dict[str, int] = {}  #: guarded by self._lock
+        self._tenant_requests: dict[str, int] = {}  #: guarded by self._lock
 
     def record_request(self) -> None:
         with self._lock:
@@ -429,15 +430,15 @@ class ClusterGateway:
         # merged totals never go backwards (a Prometheus counter-reset dip
         # would make rate()/increase() misfire exactly during an outage).
         self._samples_lock = threading.Lock()
-        self._last_samples: dict[str, list[tuple[str, float]]] = {}
+        self._last_samples: dict[str, list[tuple[str, float]]] = {}  #: guarded by self._samples_lock
         # Counter-reset compensation per shard: when a restarted shard
         # reports a monotone sample *below* its last raw reading, the old
         # reading is banked as an offset so the shard's merged contribution
         # (raw + offset) keeps counting from where it left off.  Works
         # per full labelled name, so tenant-labelled counters stay monotone
         # across restarts too.
-        self._raw_counters: dict[str, dict[str, float]] = {}
-        self._counter_offsets: dict[str, dict[str, float]] = {}
+        self._raw_counters: dict[str, dict[str, float]] = {}  #: guarded by self._samples_lock
+        self._counter_offsets: dict[str, dict[str, float]] = {}  #: guarded by self._samples_lock
         # Same backlog bump as CompileServer: the stdlib default
         # request_queue_size=5 resets connections under a client-herd burst.
         self._httpd = ThreadingHTTPServer((host, port), _GatewayHandler,
@@ -515,7 +516,9 @@ class ClusterGateway:
                 status, body, _ = self._request(
                     member, "GET", f"/traces/{trace_id or ident}",
                     timeout=self.health_monitor.timeout)
-            except _TRANSPORT_ERRORS:
+            except _TRANSPORT_ERRORS as exc:
+                _LOG.debug("trace_poll_failed", shard=member.name,
+                           error=type(exc).__name__)
                 continue
             polled += 1
             if status != 200:
@@ -523,6 +526,7 @@ class ClusterGateway:
             try:
                 payload = json.loads(body.decode("utf-8", errors="replace"))
             except ValueError:
+                _LOG.debug("trace_poll_unparsable", shard=member.name)
                 continue
             absorb(payload.get("spans") or [])
         if not spans:
@@ -564,13 +568,16 @@ class ClusterGateway:
                 status, body, _ = self._request(
                     member, "GET", f"/traces?limit={limit}",
                     timeout=self.health_monitor.timeout)
-            except _TRANSPORT_ERRORS:
+            except _TRANSPORT_ERRORS as exc:
+                _LOG.debug("trace_poll_failed", shard=member.name,
+                           error=type(exc).__name__)
                 continue
             if status != 200:
                 continue
             try:
                 payload = json.loads(body.decode("utf-8", errors="replace"))
             except ValueError:
+                _LOG.debug("trace_poll_unparsable", shard=member.name)
                 continue
             absorb(payload.get("traces") or [])
             polled += 1
@@ -600,7 +607,7 @@ class ClusterGateway:
         attempts = alive + dead if method == "GET" else (alive or dead)
         held: tuple[ShardMember, int, bytes, str] | None = None
         for member in attempts:
-            attempt_start = time.time()
+            attempt_start = time.time()  # wall-clock: backdated gateway.failover span start
             try:
                 # The proxy span wraps the shard round-trip, so the shard's
                 # own ``server.request`` span (propagated via the header
@@ -767,7 +774,9 @@ class ClusterGateway:
                 status, body, _ = self._request(
                     member, "GET", f"/alerts?limit={limit or 100}",
                     timeout=self.health_monitor.timeout)
-            except _TRANSPORT_ERRORS:
+            except _TRANSPORT_ERRORS as exc:
+                _LOG.debug("alerts_poll_failed", shard=member.name,
+                           error=type(exc).__name__)
                 continue
             if status != 200:
                 continue
@@ -775,6 +784,7 @@ class ClusterGateway:
                 shard_payload = json.loads(body.decode("utf-8",
                                                        errors="replace"))
             except ValueError:
+                _LOG.debug("alerts_poll_unparsable", shard=member.name)
                 continue
             payload["shards_polled"] += 1
             for row in shard_payload.get("active") or []:

@@ -21,6 +21,9 @@ import urllib.error
 import urllib.request
 
 from repro.cluster.ring import ShardMember, ShardRing
+from repro.obs.logging import get_logger
+
+_LOG = get_logger("cluster.health")
 
 
 class HealthMonitor:
@@ -51,11 +54,11 @@ class HealthMonitor:
         self.fail_threshold = fail_threshold
         self.ok_threshold = ok_threshold
         self._lock = threading.Lock()
-        self._failures = {member.name: 0 for member in ring.members}
-        self._successes = {member.name: 0 for member in ring.members}
+        self._failures = {member.name: 0 for member in ring.members}  #: guarded by self._lock
+        self._successes = {member.name: 0 for member in ring.members}  #: guarded by self._lock
         #: Lifetime eject/readmit transitions, surfaced in gateway health.
-        self.ejections = 0
-        self.readmissions = 0
+        self.ejections = 0  #: guarded by self._lock
+        self.readmissions = 0  #: guarded by self._lock
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -70,7 +73,12 @@ class HealthMonitor:
                 payload = json.loads(reply.read().decode("utf-8"))
             healthy = (reply.status == 200
                        and payload.get("status") == "ok")
-        except (OSError, ValueError, urllib.error.URLError):
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            # A failed probe is expected operational noise, but it must be
+            # attributable: debug-log the cause so an ejection investigation
+            # does not start from a silent False.
+            _LOG.debug("probe_failed", shard=member.name,
+                       error=type(exc).__name__, detail=str(exc))
             healthy = False
         if healthy:
             self._record_success(member)
@@ -100,6 +108,8 @@ class HealthMonitor:
             if member.alive and self._failures[member.name] >= self.fail_threshold:
                 member.alive = False
                 self.ejections += 1
+                _LOG.warning("shard_ejected", shard=member.name,
+                             consecutive_failures=self._failures[member.name])
 
     def _record_success(self, member: ShardMember) -> None:
         with self._lock:

@@ -101,12 +101,13 @@ class AnalysisStats:
 
 
 _lock = threading.Lock()
-_distance_cache: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-_analysis_cache: dict[tuple, DeviceAnalysis] = {}
-stats = AnalysisStats()
+_distance_cache: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}  #: guarded by _lock
+_analysis_cache: dict[tuple, DeviceAnalysis] = {}  #: guarded by _lock
+stats = AnalysisStats()  #: guarded by _lock
 
 
 def _evict_oldest(cache: dict, limit: int) -> None:
+    """Pop insertion-order-oldest entries down to ``limit`` (lock held)."""
     while len(cache) >= limit:
         cache.pop(next(iter(cache)))
         stats.evictions += 1
@@ -114,14 +115,15 @@ def _evict_oldest(cache: dict, limit: int) -> None:
 
 def _touch(cache: dict, key) -> None:
     """Move a hit to the back so eviction order is true LRU, not insertion
-    order — a hot device model must survive a parade of one-shot specs."""
+    order — a hot device model must survive a parade of one-shot specs.
+    Lock held by caller."""
     cache[key] = cache.pop(key)
 
 
 def _topology_arrays(device: Device,
                      topology_key: tuple) -> tuple[np.ndarray, np.ndarray]:
     """Shared (distance, predecessor) matrices for a topology, computed at
-    most once."""
+    most once (lock held by :func:`analyze`)."""
     cached = _distance_cache.get(topology_key)
     if cached is not None:
         stats.distance_reuses += 1

@@ -31,9 +31,9 @@ from repro.compiler.backends.python import PythonBackend
 DEFAULT_BACKEND = "python"
 
 _lock = threading.Lock()
-_factories: dict[str, Callable[[], RouterBackend]] = {}
-_descriptions: dict[str, str] = {}
-_instances: dict[str, RouterBackend] = {}
+_factories: dict[str, Callable[[], RouterBackend]] = {}  #: guarded by _lock
+_descriptions: dict[str, str] = {}  #: guarded by _lock
+_instances: dict[str, RouterBackend] = {}  #: guarded by _lock
 
 
 def register_backend(name: str, factory: Callable[[], RouterBackend],

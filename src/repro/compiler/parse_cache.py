@@ -47,8 +47,8 @@ class ParseCacheStats:
 
 
 _lock = threading.Lock()
-_cache: "OrderedDict[str, Circuit]" = OrderedDict()
-stats = ParseCacheStats()
+_cache: "OrderedDict[str, Circuit]" = OrderedDict()  #: guarded by _lock
+stats = ParseCacheStats()  #: guarded by _lock
 
 
 def qasm_key(qasm: str) -> str:

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repo but never runs in production.
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based invariant
+checker behind ``repro lint``.
+"""

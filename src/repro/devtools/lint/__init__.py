@@ -1,0 +1,25 @@
+"""`repro lint` — AST-based checks for the repo's cross-cutting invariants.
+
+The stack's correctness rests on conventions that ordinary linters cannot
+see: which attributes a lock guards, which clocks feed duration math, which
+optional fields may join a content-addressed cache key, how Prometheus
+metrics are named, and the test suite's no-sleep discipline.  Each of those
+has already caused a shipped bug or a flake; this package turns them into
+machine-checked rules over the stdlib :mod:`ast`.
+
+Usage::
+
+    repro lint                    # src/ + tests/, human output
+    repro lint --json src         # machine output
+    repro lint --update-baseline  # grandfather current findings
+
+Rules live in :mod:`repro.devtools.lint.rules`; each registers itself with
+the registry in :mod:`repro.devtools.lint.core` on import.  Annotations the
+rules understand are documented in ``docs/INVARIANTS.md``.
+"""
+
+from repro.devtools.lint.core import (Finding, LintRule, get_rules,
+                                      iter_source_files, run_lint)
+
+__all__ = ["Finding", "LintRule", "get_rules", "iter_source_files",
+           "run_lint"]

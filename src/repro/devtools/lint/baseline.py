@@ -1,0 +1,74 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline maps finding fingerprints (rule + path + message, no line
+number) to a human-readable record, so CI fails only on *new* findings
+while a pre-existing debt list burns down at its own pace.  The repo ships
+an empty baseline — the goal state — and ``repro lint --update-baseline``
+regenerates it when debt is knowingly taken on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lint.core import Finding
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint set with enough metadata to stay reviewable in git."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> "Baseline":
+        """Read a baseline file; missing or corrupt files mean "empty"."""
+        if path is None:
+            return cls()
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        entries = data.get("findings")
+        if not isinstance(entries, dict):
+            return cls()
+        return cls(entries={key: value for key, value in entries.items()
+                            if isinstance(value, dict)})
+
+    def save(self, path: str | Path, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+        entries = {
+            finding.fingerprint: {"rule": finding.rule, "path": finding.path,
+                                  "message": finding.message}
+            for finding in findings
+        }
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "findings": dict(sorted(entries.items()))}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")
+        self.entries = entries
+
+    def split(self, findings: Sequence[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """``(new, grandfathered, stale-fingerprints)`` for a lint run.
+
+        Stale fingerprints are baseline entries no current finding matches —
+        debt that has been paid off and should be dropped from the file.
+        """
+        seen: set[str] = set()
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                old.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, old, stale

@@ -1,0 +1,111 @@
+"""Command-line front end for the lint framework (``repro lint``).
+
+Exit status: 0 when every finding is baselined (or there are none),
+1 when new findings exist, 2 on usage errors.  ``--json`` emits a single
+machine-readable object for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.core import get_rules, run_lint
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to ``parser`` (shared with the
+    standalone ``python -m repro.devtools.lint.cli`` entry point)."""
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON object instead of text")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE}; missing file "
+                             "means empty baseline)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--rules",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    parser.add_argument("--root", default=".",
+                        help="repo root for relative paths/fingerprints "
+                             "(default: cwd)")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in get_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    root = Path(args.root)
+    paths = list(args.paths) or [str(root / part) for part in DEFAULT_PATHS
+                                 if (root / part).exists()]
+    rules = ([part.strip() for part in args.rules.split(",") if part.strip()]
+             if args.rules else None)
+    try:
+        findings = run_lint(paths, root=root, rules=rules)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    baseline = Baseline.load(baseline_path if baseline_path.exists()
+                             else None)
+
+    if args.update_baseline:
+        baseline.save(baseline_path, findings)
+        print(f"baseline updated: {len(findings)} finding(s) recorded in "
+              f"{baseline_path}")
+        return 0
+
+    new, grandfathered, stale = baseline.split(findings)
+
+    if args.as_json:
+        print(json.dumps({
+            "new": [finding.to_dict() for finding in new],
+            "grandfathered": [finding.to_dict()
+                              for finding in grandfathered],
+            "stale_baseline_fingerprints": stale,
+        }, indent=2, sort_keys=True))
+        return 1 if new else 0
+
+    for finding in new:
+        print(finding.render())
+    if grandfathered:
+        print(f"({len(grandfathered)} grandfathered finding(s) suppressed "
+              "by the baseline)")
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr(y/ies) no longer "
+              f"match anything — run --update-baseline to drop them")
+    if new:
+        print(f"repro lint: {len(new)} new finding(s)")
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checks (see docs/INVARIANTS.md)")
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

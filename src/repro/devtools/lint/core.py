@@ -1,0 +1,239 @@
+"""Framework for the repo-specific lint rules: findings, file contexts,
+rule registry, and the driver that walks a source tree.
+
+Everything here is stdlib-only (``ast`` + ``tokenize``) so the linter runs
+in the same environment as the test suite — no extra dependency, no
+version skew with an external tool.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: Directory names never recursed into when expanding a directory argument.
+#: ``lint_fixtures`` holds intentionally-bad snippets for the rule self-tests
+#: — they are still lintable when named explicitly on the command line.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache",
+                       ".pytest_cache", "lint_fixtures"})
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+# --------------------------------------------------------------------------- #
+# Findings
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The :attr:`fingerprint` identifies a finding across edits that merely
+    move it (it hashes rule, path and message — not the line number), which
+    is what makes the baseline file survive unrelated refactors.
+    """
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        payload = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "fingerprint": self.fingerprint}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# --------------------------------------------------------------------------- #
+# File context
+# --------------------------------------------------------------------------- #
+@dataclass
+class FileContext:
+    """Parsed view of one source file handed to every rule.
+
+    Rules share the parse and the comment map, so adding a rule costs one
+    extra AST walk, not one extra tokenize+parse of the whole tree.
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    comments: Mapping[int, str] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    @property
+    def is_fixture(self) -> bool:
+        """True for the intentionally-bad snippets under ``lint_fixtures/``."""
+        return "lint_fixtures" in self.parts
+
+    @property
+    def is_test_code(self) -> bool:
+        """True under ``tests/`` or ``benchmarks/`` (fixtures count too)."""
+        return self.is_fixture or (self.parts and
+                                   self.parts[0] in ("tests", "benchmarks"))
+
+    def comment(self, line: int) -> str:
+        """The trailing comment on ``line`` (empty string when none)."""
+        return self.comments.get(line, "")
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` carries ``# lint: ignore`` for this rule."""
+        match = _SUPPRESS_RE.search(self.comment(line))
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return rule_id in {part.strip() for part in listed.split(",")}
+
+
+def _comment_map(source: str) -> dict[int, str]:
+    """``{line: comment-text}`` for every comment token in ``source``."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the ast parse reports the real error as a finding
+    return comments
+
+
+def load_context(path: Path, root: Path) -> FileContext | Finding:
+    """Parse ``path`` into a :class:`FileContext`, or a parse-error finding."""
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding("RL000", rel, 1, f"unreadable file: {exc}")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding("RL000", rel, exc.lineno or 1,
+                       f"syntax error: {exc.msg}")
+    return FileContext(path=path, rel=rel, source=source, tree=tree,
+                       comments=_comment_map(source))
+
+
+# --------------------------------------------------------------------------- #
+# Rules + registry
+# --------------------------------------------------------------------------- #
+class LintRule:
+    """Base class for one rule; subclasses register with :func:`register`.
+
+    Subclasses set :attr:`id` (``RLnnn``), :attr:`name`, :attr:`summary`
+    and implement :meth:`check`, yielding findings for one file.
+    Suppression comments are honoured by the driver — rules do not need to
+    consult :meth:`FileContext.suppressed` themselves.
+    """
+
+    id: str = "RL000"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, message: str) -> Finding:
+        return Finding(self.id, ctx.rel, line, message)
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register(rule_cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule instance to the registry."""
+    rule = rule_cls()
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def get_rules(only: Sequence[str] | None = None) -> list[LintRule]:
+    """Registered rules sorted by id, optionally filtered to ``only`` ids."""
+    import repro.devtools.lint.rules  # noqa: F401  (registers on import)
+
+    rules = [_REGISTRY[key] for key in sorted(_REGISTRY)]
+    if only:
+        wanted = set(only)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}; "
+                             f"known: {sorted(_REGISTRY)}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    return rules
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+def iter_source_files(paths: Sequence[str | Path],
+                      root: Path | None = None) -> Iterator[Path]:
+    """Expand ``paths`` into ``.py`` files, skipping :data:`SKIP_DIRS`.
+
+    A path naming a file directly is always yielded — the skip list only
+    prunes directory recursion, so fixture snippets stay individually
+    lintable.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if root is not None and not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in SKIP_DIRS for part in candidate.parts):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def run_lint(paths: Sequence[str | Path], *,
+             root: Path | None = None,
+             rules: Sequence[str] | None = None) -> list[Finding]:
+    """Lint every file under ``paths`` and return the surviving findings.
+
+    ``root`` anchors the repo-relative paths baked into fingerprints
+    (default: the current working directory).  Line-level
+    ``# lint: ignore[...]`` suppressions are applied here.
+    """
+    root = Path.cwd() if root is None else Path(root)
+    active = get_rules(rules)
+    findings: list[Finding] = []
+    for path in iter_source_files(paths, root=root):
+        ctx = load_context(path, root)
+        if isinstance(ctx, Finding):
+            findings.append(ctx)
+            continue
+        for rule in active:
+            for found in rule.check(ctx):
+                if not ctx.suppressed(found.rule, found.line):
+                    findings.append(found)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -1,0 +1,10 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module defines one rule class decorated with
+:func:`repro.devtools.lint.core.register`.  Add new rules by dropping a
+module here and importing it below — the registry picks it up by id.
+"""
+
+from repro.devtools.lint.rules import (clock_hygiene, key_stability,  # noqa: F401
+                                       lock_discipline,
+                                       metrics_conventions, test_hygiene)

@@ -1,0 +1,110 @@
+"""RL002: durations come from ``time.monotonic()``; every remaining
+``time.time()`` call carries a ``# wall-clock:`` annotation saying why.
+
+``time.time()`` jumps under NTP steps and leap smearing, so subtracting two
+readings is not a duration — the coalescing deflake and the FIFO/LRU
+eviction bug both traced back to exactly this.  Wall time is still the
+right clock for *timestamps* that cross process boundaries (span start/end
+stitched by trace id, log record ``ts`` fields); those sites document the
+choice inline::
+
+    self.submitted_wall = time.time()  # wall-clock: queue-age shown to humans
+
+Two checks per function scope:
+
+* any ``time.time()`` result fed into subtraction or an ordered comparison
+  (directly, or via a name assigned from it) is an error — an annotation
+  does not excuse duration math;
+* any other ``time.time()`` call must carry ``# wall-clock:`` on its line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.lint.core import (FileContext, Finding, LintRule,
+                                      register)
+
+
+def _is_wall_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "time"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time")
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+@register
+class ClockHygieneRule(LintRule):
+    id = "RL002"
+    name = "clock-hygiene"
+    summary = ("time.time() needs a `# wall-clock:` annotation and must "
+               "never feed duration arithmetic")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for body in _scopes(ctx.tree):
+            yield from self._check_scope(ctx, body)
+
+    def _check_scope(self, ctx: FileContext,
+                     body: list[ast.stmt]) -> Iterator[Finding]:
+        # Names bound directly from time.time() in this scope (nested
+        # function bodies are their own scope and skipped here).
+        wall_names: set[str] = set()
+        nodes: list[ast.AST] = []
+
+        def collect(parent: ast.AST) -> None:
+            for node in ast.iter_child_nodes(parent):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # analysed as its own scope
+                nodes.append(node)
+                collect(node)
+
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # analysed as its own scope
+            nodes.append(stmt)
+            collect(stmt)
+        for node in nodes:
+            if isinstance(node, ast.Assign) and _is_wall_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        wall_names.add(target.id)
+
+        def is_wallish(expr: ast.AST) -> bool:
+            return _is_wall_call(expr) or (isinstance(expr, ast.Name)
+                                           and expr.id in wall_names)
+
+        flagged: set[int] = set()
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.Compare) and any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops):
+                operands = [node.left, *node.comparators]
+            else:
+                continue
+            if any(is_wallish(operand) for operand in operands):
+                if node.lineno not in flagged:
+                    flagged.add(node.lineno)
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "wall clock (time.time()) used in duration "
+                        "arithmetic; use time.monotonic()")
+        for node in nodes:
+            if (_is_wall_call(node) and node.lineno not in flagged
+                    and "# wall-clock:" not in ctx.comment(node.lineno)):
+                flagged.add(node.lineno)
+                yield self.finding(
+                    ctx, node.lineno,
+                    "time.time() without a `# wall-clock:` annotation "
+                    "(use time.monotonic() unless an epoch timestamp is "
+                    "required)")

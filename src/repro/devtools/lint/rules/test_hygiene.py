@@ -1,0 +1,73 @@
+"""RL005: no sleeps in tests — synchronise on events, inject clocks.
+
+The suite runs 1100+ tests in ~30s because nothing waits on wall time:
+threads rendezvous on ``threading.Event`` objects and time-dependent code
+takes an injectable ``clock``.  That discipline was folklore until now.
+Under ``tests/`` and ``benchmarks/`` this rule bans
+
+* ``time.sleep(...)`` — unless the line carries ``# sleep-ok: <reason>``
+  (the allowlist; a bare ``# sleep-ok:`` without a reason still fails), and
+* ``threading.Event().wait(...)`` — a sleep in disguise: an event nobody
+  can ever set.  Named events (``stop.wait()``) are the sanctioned pattern
+  and remain fine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.devtools.lint.core import (FileContext, Finding, LintRule,
+                                      register)
+
+_SLEEP_OK_RE = re.compile(r"#\s*sleep-ok:\s*\S")
+
+
+def _is_time_sleep(node: ast.Call) -> bool:
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sleep"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time")
+
+
+def _is_naked_event_wait(node: ast.Call) -> bool:
+    """Matches ``threading.Event().wait(...)`` / ``Event().wait(...)``."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "wait"):
+        return False
+    receiver = func.value
+    if not isinstance(receiver, ast.Call):
+        return False
+    ctor = receiver.func
+    name = ctor.attr if isinstance(ctor, ast.Attribute) else getattr(
+        ctor, "id", "")
+    return name == "Event"
+
+
+@register
+class TestHygieneRule(LintRule):
+    id = "RL005"
+    name = "test-hygiene"
+    summary = ("tests must not call time.sleep() or wait on throwaway "
+               "events; annotate exceptions with `# sleep-ok: <reason>`")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_test_code:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_time_sleep(node):
+                if not _SLEEP_OK_RE.search(ctx.comment(node.lineno)):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "time.sleep() in test code; synchronise on an "
+                        "event or inject a clock (or annotate "
+                        "`# sleep-ok: <reason>`)")
+            elif _is_naked_event_wait(node):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "threading.Event().wait() on a throwaway event is a "
+                    "disguised sleep; bind the event and set() it from "
+                    "the other thread")

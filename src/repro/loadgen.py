@@ -199,7 +199,8 @@ class LoadTest:
         text = CompileClient(self.url, retries=2).metrics_text()
         samples = dict(iter_samples(text))
         return MetricsSnapshot.capture(
-            time.time(), sample_from_prometheus(samples, prefix=self._prefix))
+            time.monotonic(),
+            sample_from_prometheus(samples, prefix=self._prefix))
 
     def run_step(self, rate: float, duration: float) -> dict:
         """Offer ``rate`` jobs/s for ``duration`` seconds; measure from the

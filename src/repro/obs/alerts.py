@@ -128,7 +128,9 @@ class AlertManager:
     rules:
         The :class:`BurnRateRule` set to evaluate each tick.
     clock:
-        Injectable wall clock (tests drive transitions without sleeping).
+        Injectable clock (monotonic by default — timestamps are only
+        differenced for dwell hysteresis; tests drive transitions without
+        sleeping).
     max_events:
         Bounded ring of emitted transition events.
     exemplar_source:
@@ -137,22 +139,22 @@ class AlertManager:
     """
 
     def __init__(self, rules: Iterable[BurnRateRule], *,
-                 clock: Callable[[], float] = time.time,
+                 clock: Callable[[], float] = time.monotonic,
                  max_events: int = 256,
                  exemplar_source: Callable[["BurnRateRule"], str | None]
                  | None = None):
-        self.rules: Sequence[BurnRateRule] = tuple(rules)
+        self.rules: Sequence[BurnRateRule] = tuple(rules)  #: guarded by self._lock
         names = [rule.name for rule in self.rules]
         if len(names) != len(set(names)):
             raise ValueError("rule names must be unique")
         self.clock = clock
         self.exemplar_source = exemplar_source
-        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self._states = {rule.name: _RuleState() for rule in self.rules}  #: guarded by self._lock
         # Bounded ring (like the span store): a long-running server must not
         # accumulate transition events without limit.  Evictions are counted
         # so an operator can tell the history is truncated.
-        self._events: deque[dict] = deque(maxlen=max_events)
-        self.dropped_events = 0
+        self._events: deque[dict] = deque(maxlen=max_events)  #: guarded by self._lock
+        self.dropped_events = 0  #: guarded by self._lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -212,6 +214,7 @@ class AlertManager:
 
     def _advance(self, rule: BurnRateRule, state: _RuleState, holds: bool,
                  at: float, slo_result: Mapping | None) -> dict | None:
+        """Advance one rule's state machine (lock held by ``evaluate``)."""
         previous = state.state
         if state.state == OK:
             if not holds:

@@ -33,8 +33,8 @@ STDERR = object()
 _UNSET = object()
 
 _lock = threading.Lock()
-_config: dict = {"sink": STDERR, "level": "info", "ring": deque(maxlen=256)}
-_loggers: dict[str, "StructuredLogger"] = {}
+_config: dict = {"sink": STDERR, "level": "info", "ring": deque(maxlen=256)}  #: guarded by _lock
+_loggers: dict[str, "StructuredLogger"] = {}  #: guarded by _lock
 
 
 def configure(sink: "TextIO | None | object" = _UNSET,
@@ -83,11 +83,13 @@ class StructuredLogger:
     # ------------------------------------------------------------------ #
     def log(self, level: str, event: str, **fields) -> dict | None:
         """One record; returns the emitted dict (``None`` below threshold)."""
-        if LEVELS.get(level, 0) < LEVELS.get(_config["level"], 20):
+        with _lock:
+            threshold = _config["level"]
+        if LEVELS.get(level, 0) < LEVELS.get(threshold, 20):
             return None
         from repro.obs.trace import current_trace
 
-        record = {"ts": round(time.time(), 6), "level": level,
+        record = {"ts": round(time.time(), 6), "level": level,  # wall-clock: log records are grepped against external timelines
                   "component": self.component, "event": event}
         context = current_trace()
         if context is not None:

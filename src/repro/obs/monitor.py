@@ -154,7 +154,8 @@ class Monitor:
         A :class:`MonitorConfig`, dict of overrides, ``False`` (disabled)
         or ``None`` (defaults).
     clock:
-        Injectable wall clock shared by recorder and alert manager.
+        Injectable clock shared by recorder and alert manager (monotonic
+        by default: every consumer differences or orders the values).
     exemplar_source:
         Optional ``callable(spec) -> trace_id | None`` that finds a trace
         id for an SLO's offending latency bucket (wired to
@@ -165,7 +166,7 @@ class Monitor:
 
     def __init__(self, source: Callable[[], Mapping],
                  config: MonitorConfig | Mapping | bool | None = None, *,
-                 clock: Callable[[], float] = time.time,
+                 clock: Callable[[], float] = time.monotonic,
                  exemplar_source: Callable[[SLOSpec], str | None]
                  | None = None,
                  name: str = "server"):

@@ -41,13 +41,18 @@ class ProfileReport:
         self.interval_s = interval_s
         self.samples = 0
         self.stacks: Counter[tuple[str, ...]] = Counter()
-        self.started_at = time.time()
+        # Epoch timestamps feed span start/end (stitched by trace id across
+        # processes); the monotonic twins below are what durations come from.
+        self.started_at = time.time()  # wall-clock: span start for job.profile
         self.stopped_at: float | None = None
+        self._started_mono = time.monotonic()
+        self._stopped_mono: float | None = None
 
     @property
     def wall_s(self) -> float:
-        end = self.stopped_at if self.stopped_at is not None else time.time()
-        return max(0.0, end - self.started_at)
+        end = (self._stopped_mono if self._stopped_mono is not None
+               else time.monotonic())
+        return max(0.0, end - self._started_mono)
 
     def top(self, count: int = 10) -> list[dict]:
         """The hottest stacks, leaf-first, heaviest first."""
@@ -108,7 +113,8 @@ class SamplingProfiler:
         self._thread.join(5.0)
         self._thread = None
         report = self.report
-        report.stopped_at = time.time()
+        report.stopped_at = time.time()  # wall-clock: span end for job.profile
+        report._stopped_mono = time.monotonic()
         return report
 
     def __enter__(self) -> "SamplingProfiler":

@@ -37,9 +37,9 @@ class SpanStore:
             raise ValueError("max_spans must be >= 1")
         self.max_spans = max_spans
         self._lock = threading.Lock()
-        self._ring: deque[Span] = deque()
-        self._by_trace: dict[str, list[Span]] = {}
-        self.evicted = 0
+        self._ring: deque[Span] = deque()  #: guarded by self._lock
+        self._by_trace: dict[str, list[Span]] = {}  #: guarded by self._lock
+        self.evicted = 0  #: guarded by self._lock
 
     # ------------------------------------------------------------------ #
     def add(self, span: Span) -> None:

@@ -200,14 +200,15 @@ class MetricsRecorder:
     windows:
         Rolling window lengths in seconds, shortest first.
     clock:
-        Injectable wall clock; tests advance a fake and call
+        Injectable clock (monotonic by default — snapshot timestamps are
+        only ever differenced); tests advance a fake and call
         :meth:`sample_now` instead of running the thread.
     """
 
     def __init__(self, source: Callable[[], Mapping], *,
                  interval_s: float = 5.0, max_samples: int = 720,
                  windows: Sequence[float] = DEFAULT_WINDOWS,
-                 clock: Callable[[], float] = time.time):
+                 clock: Callable[[], float] = time.monotonic):
         if interval_s <= 0:
             raise ValueError("interval_s must be > 0")
         if max_samples < 2:
@@ -219,7 +220,7 @@ class MetricsRecorder:
         self.max_samples = max_samples
         self.windows = tuple(sorted(float(w) for w in windows))
         self.clock = clock
-        self._ring: deque[MetricsSnapshot] = deque(maxlen=max_samples)
+        self._ring: deque[MetricsSnapshot] = deque(maxlen=max_samples)  #: guarded by self._lock
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None

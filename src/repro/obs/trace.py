@@ -178,7 +178,8 @@ def span(name: str, **attributes) -> Iterator[Span | None]:
         yield None
         return
     entry = Span(trace_id=context.trace_id, span_id=new_span_id(),
-                 parent_id=context.span_id, name=name, start=time.time(),
+                 parent_id=context.span_id, name=name,
+                 start=time.time(),  # wall-clock: spans stitch across processes by trace id
                  attributes=dict(attributes))
     token = _current.set(context.child_of(entry.span_id))
     try:
@@ -187,7 +188,7 @@ def span(name: str, **attributes) -> Iterator[Span | None]:
         entry.attributes.setdefault("error", type(exc).__name__)
         raise
     finally:
-        entry.end = time.time()
+        entry.end = time.time()  # wall-clock: spans stitch across processes
         _current.reset(token)
         from repro.obs.store import get_store
 
@@ -206,7 +207,7 @@ def record_span(name: str, *, trace: TraceContext, start: float,
     entry = Span(trace_id=trace.trace_id, span_id=new_span_id(),
                  parent_id=trace.span_id if parent_id is None else parent_id,
                  name=name, start=start,
-                 end=time.time() if end is None else end,
+                 end=time.time() if end is None else end,  # wall-clock: span end
                  attributes=dict(attributes))
     from repro.obs.store import get_store
 

@@ -62,7 +62,7 @@ class Candidate:
 
     router: Mapping | str = "codar"
     layout_strategy: str = "degree"
-    seed: int | None = None
+    seed: int | None = None  #: key: always
     label: str = ""
     pipeline: "list | str | dict | None" = None
     backend: "str | None" = None

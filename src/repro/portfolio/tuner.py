@@ -86,7 +86,7 @@ class TuningStore:
         self.min_observations = min_observations
         self.max_candidates = max_candidates
         self._lock = threading.Lock()
-        self._buckets: dict[str, dict[str, dict]] = {}
+        self._buckets: dict[str, dict[str, dict]] = {}  #: guarded by self._lock
         if self.path is not None:
             self._load()
 
@@ -100,10 +100,11 @@ class TuningStore:
             with open(self.path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
             buckets = data.get("buckets")
-            if isinstance(buckets, dict):
-                self._buckets = buckets
         except (OSError, ValueError):
-            self._buckets = {}  # corrupt/missing file: start cold
+            buckets = None  # corrupt/missing file: keep the cold store
+        if isinstance(buckets, dict):
+            with self._lock:
+                self._buckets = buckets
 
     def save(self) -> None:
         """Write the store atomically (no-op for memory-only stores).

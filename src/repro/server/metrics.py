@@ -150,6 +150,12 @@ def _histogram_sample(histogram: Histogram) -> dict:
     }
 
 
+#: Every label name any repro component may attach to a Prometheus sample.
+#: The RL004 lint rule validates rendered exposition templates against this
+#: tuple, so adding a label is a deliberate, reviewed act rather than a typo.
+KNOWN_LABELS = ("backend", "le", "router", "shard", "stage", "tenant")
+
+
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -200,20 +206,20 @@ class ServerMetrics:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters = {name: 0 for name in self.COUNTERS}
-        self._tenants: dict[str, _TenantStats] = {}
-        self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}
+        self._counters = {name: 0 for name in self.COUNTERS}  #: guarded by self._lock
+        self._tenants: dict[str, _TenantStats] = {}  #: guarded by self._lock
+        self._portfolio = {name: 0 for name in self.PORTFOLIO_COUNTERS}  #: guarded by self._lock
         #: Portfolio wins per router name (a labeled counter).
-        self._wins: dict[str, int] = {}
+        self._wins: dict[str, int] = {}  #: guarded by self._lock
         #: Executed jobs per router scoring backend (a labeled counter).
-        self._backend_jobs: dict[str, int] = {}
+        self._backend_jobs: dict[str, int] = {}  #: guarded by self._lock
         #: Per-pipeline-stage cumulative wall-clock and run counts (labeled
         #: counters fed by the compiler pipeline's stage timing records).
-        self._stage_seconds: dict[str, float] = {}
-        self._stage_runs: dict[str, int] = {}
-        self._gauges: dict[str, Callable[[], float]] = {}
-        self.wait_seconds = Histogram()
-        self.service_seconds = Histogram()
+        self._stage_seconds: dict[str, float] = {}  #: guarded by self._lock
+        self._stage_runs: dict[str, int] = {}  #: guarded by self._lock
+        self._gauges: dict[str, Callable[[], float]] = {}  #: guarded by self._lock
+        self.wait_seconds = Histogram()  #: guarded by self._lock
+        self.service_seconds = Histogram()  #: guarded by self._lock
 
     # ------------------------------------------------------------------ #
     def _tenant_stats(self, tenant: str) -> "_TenantStats":

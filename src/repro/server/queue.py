@@ -97,7 +97,7 @@ class JobTicket:
         #: submit time rides along because spans use epoch seconds while the
         #: latency accounting below stays on the monotonic clock.
         self.trace = current_trace()
-        self.submitted_wall = time.time()
+        self.submitted_wall = time.time()  # wall-clock: span start/end, stitched cross-process
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -279,18 +279,18 @@ class JobQueue:
         # exactly the priorities present in `_classes` (a drained class is
         # removed from both together).  Stale tickets left behind by a
         # priority escalation are skipped inside the class.
-        self._classes: dict[int, _PriorityClass] = {}
-        self._priorities: list[int] = []
-        self._queued = 0
-        self._queued_by_tenant: dict[str, int] = {}
-        self._throttles_by_tenant: dict[str, int] = {}
+        self._classes: dict[int, _PriorityClass] = {}  #: guarded by self._lock, self._not_empty
+        self._priorities: list[int] = []  #: guarded by self._lock, self._not_empty
+        self._queued = 0  #: guarded by self._lock, self._not_empty
+        self._queued_by_tenant: dict[str, int] = {}  #: guarded by self._lock, self._not_empty
+        self._throttles_by_tenant: dict[str, int] = {}  #: guarded by self._lock, self._not_empty
         #: Tickets that can still be coalesced onto (queued or running).
-        self._in_flight: dict[str, JobTicket] = {}
+        self._in_flight: dict[str, JobTicket] = {}  #: guarded by self._lock, self._not_empty
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._sequence = itertools.count()
-        self._closed = False
-        self._drain = True
+        self._closed = False  #: guarded by self._lock, self._not_empty
+        self._drain = True  #: guarded by self._lock, self._not_empty
 
     # ------------------------------------------------------------------ #
     @property
@@ -315,7 +315,8 @@ class JobQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def tenant_depths(self) -> dict[str, int]:
         """Queued tickets per tenant (running tickets excluded)."""

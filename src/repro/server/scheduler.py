@@ -85,13 +85,13 @@ class Scheduler:
         self.max_records = max_records
         self.profile_slow_s = profile_slow_s
         self.profile_interval_s = profile_interval_s
-        self.records: OrderedDict[str, JobTicket] = OrderedDict()
+        self.records: OrderedDict[str, JobTicket] = OrderedDict()  #: guarded by self._records_lock
         self._records_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._gate = threading.Event()  # cleared = paused
         self._gate.set()
-        self._active = 0
+        self._active = 0  #: guarded by self._active_lock
         self._active_lock = threading.Lock()
         self.metrics.register_gauge("queue_depth", lambda: self.queue.depth)
         self.metrics.register_gauge("jobs_in_flight", lambda: self.active)
@@ -249,9 +249,10 @@ class Scheduler:
         if context is None:
             outcome, _ = self._execute(ticket.job)
             return outcome
-        picked_up = time.time()
+        picked_up_wall = time.time()  # wall-clock: span end, stitched cross-process by trace id
+        picked_up = time.monotonic()
         record_span("queue.wait", trace=context,
-                    start=ticket.submitted_wall, end=picked_up,
+                    start=ticket.submitted_wall, end=picked_up_wall,
                     job_key=ticket.key, priority=ticket.priority,
                     tenant=ticket.tenant, coalesced=ticket.coalesced)
         with activate(context):
@@ -260,12 +261,12 @@ class Scheduler:
                 outcome, report = self._execute(ticket.job)
                 entry.attributes["status"] = outcome.status
                 entry.attributes["cache_hit"] = outcome.cache_hit
-                service_s = time.time() - picked_up
+                service_s = time.monotonic() - picked_up
                 if (report is not None and report.samples
                         and service_s >= (self.profile_slow_s or 0.0)):
                     record_span("job.profile", trace=current_trace(),
                                 start=report.started_at,
-                                end=report.stopped_at or picked_up,
+                                end=report.stopped_at or picked_up_wall,
                                 job_key=ticket.key,
                                 profile=report.as_dict())
                     _LOG.warning("slow_job_profiled", job_key=ticket.key,

@@ -75,6 +75,10 @@ class ResultCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         # The memory tier stores serialised JSON, not dicts, so a caller
         # mutating a returned outcome can never corrupt later cache hits.
+        # The *reference* is immutable after construction (None-checks may
+        # run unlocked); the dict's contents are only touched under
+        # ``self._lock``, which RL001 cannot express, so it stays
+        # unannotated deliberately.
         self._memory: OrderedDict[str, str] | None = (
             OrderedDict() if memory else None)
         self.max_entries = max_entries
@@ -82,7 +86,7 @@ class ResultCache:
         # scheduler workers and HTTP threads.  Disk writes need no lock —
         # the temp-file + os.replace protocol is already concurrency-safe.
         self._lock = threading.Lock()
-        self.stats = CacheStats()
+        self.stats = CacheStats()  #: guarded by self._lock
 
     # ------------------------------------------------------------------ #
     def _path(self, key: str) -> Path:

@@ -53,7 +53,7 @@ class CompileJob:
     device: dict
     router: dict
     layout_strategy: str = "degree"
-    seed: int | None = None
+    seed: int | None = None  #: key: always
     circuit_name: str = "circuit"
     pipeline: list | str | dict | None = None
     backend: str | None = None
@@ -257,7 +257,7 @@ class PortfolioJob:
     candidates: list | str = "fast"
     cost: dict | str = "weighted_depth"
     racing: dict = field(default_factory=dict)
-    seed: int | None = None
+    seed: int | None = None  #: key: always
     circuit_name: str = "circuit"
 
     def __post_init__(self) -> None:

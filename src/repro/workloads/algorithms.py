@@ -233,7 +233,7 @@ EXTENDED_FAMILIES = {
 def extended_workloads(max_qubits: int | None = None) -> list[Circuit]:
     """Build one representative circuit per extended family."""
     circuits = []
-    for key, (builder, kwargs) in EXTENDED_FAMILIES.items():
+    for builder, kwargs in EXTENDED_FAMILIES.values():
         circuit = builder(**kwargs)
         if max_qubits is not None and circuit.num_qubits > max_qubits:
             continue

@@ -1,0 +1,15 @@
+"""RL001 fixture: guarded attribute touched outside its lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  #: guarded by self._lock
+
+    def bump(self):
+        self.count += 1  # unlocked write: RL001 fires here
+
+    def read(self):
+        return self.count  # unlocked read: RL001 fires here

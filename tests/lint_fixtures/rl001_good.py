@@ -1,0 +1,35 @@
+"""RL001 fixture: every guarded access is under the lock (or exempt)."""
+
+import threading
+
+_lock = threading.Lock()
+_registry: dict = {}  #: guarded by _lock
+
+
+def register(name, value):
+    with _lock:
+        _registry[name] = value
+
+
+def _drop_locked(name):
+    _registry.pop(name, None)
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.count = 0  #: guarded by self._lock, self._cond
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def bump_and_notify(self):
+        with self._cond:
+            self.count += 1
+            self._cond.notify()
+
+    def _reset(self):
+        """Zero the tally (lock held by caller)."""
+        self.count = 0

@@ -1,0 +1,13 @@
+"""RL002 fixture: wall clock fed into duration math, and unannotated."""
+
+import time
+
+
+def measure(work):
+    start = time.time()
+    work()
+    return time.time() - start  # duration from the wall clock: RL002
+
+
+def stamp():
+    return time.time()  # no wall-clock annotation: RL002

@@ -1,0 +1,13 @@
+"""RL002 fixture: monotonic durations, annotated wall-clock timestamps."""
+
+import time
+
+
+def measure(work):
+    start = time.monotonic()
+    work()
+    return time.monotonic() - start
+
+
+def stamp():
+    return time.time()  # wall-clock: epoch timestamp shown to humans

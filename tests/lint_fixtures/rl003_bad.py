@@ -1,0 +1,22 @@
+"""RL003 fixture: optional field hashed into the key even when unset."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    flavour: str | None = None
+
+    @property
+    def key(self):
+        payload = {"name": self.name, "flavour": self.flavour}  # RL003
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def to_dict(self):
+        data = {"name": self.name}
+        data["flavour"] = self.flavour  # RL003: unguarded store
+        return data

@@ -1,0 +1,26 @@
+"""RL003 fixture: optional fields join the payload only when set."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    name: str
+    flavour: str | None = None
+    seed: int | None = None  #: key: always
+
+    @property
+    def key(self):
+        payload = {"name": self.name, "seed": self.seed}
+        if self.flavour is not None:
+            payload["flavour"] = self.flavour
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def to_dict(self):
+        data = {"name": self.name, "seed": self.seed}
+        if self.flavour is not None:
+            data["flavour"] = self.flavour
+        return data

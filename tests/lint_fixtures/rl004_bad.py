@@ -1,0 +1,12 @@
+"""RL004 fixture: misnamed counter, incomplete histogram, rogue label."""
+
+
+def render(jobs, prefix="repro"):
+    lines = []
+    metric = f"{prefix}_jobs_done"
+    lines.append(f"# TYPE {metric} counter")  # counter missing _total: RL004
+    lines.append(f"{metric} {jobs}")
+    metric = f"{prefix}_wait_seconds"
+    lines.append(f"# TYPE {metric} histogram")  # no _bucket/_sum/_count: RL004
+    lines.append(f'{metric}{{customer="acme"}} 1')  # unknown label: RL004
+    return "\n".join(lines)

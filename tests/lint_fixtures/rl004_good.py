@@ -1,0 +1,18 @@
+"""RL004 fixture: conventional counter, gauge and histogram series."""
+
+
+def render(jobs, depth, buckets, total, prefix="repro"):
+    lines = []
+    metric = f"{prefix}_jobs_total"
+    lines.append(f"# TYPE {metric} counter")
+    lines.append(f'{metric}{{tenant="alice"}} {jobs}')
+    metric = f"{prefix}_queue_depth"
+    lines.append(f"# TYPE {metric} gauge")
+    lines.append(f"{metric} {depth}")
+    metric = f"{prefix}_wait_seconds"
+    lines.append(f"# TYPE {metric} histogram")
+    for bound, count in buckets:
+        lines.append(f'{metric}_bucket{{le="{bound}"}} {count}')
+    lines.append(f"{metric}_sum {total}")
+    lines.append(f"{metric}_count {jobs}")
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""RL005 fixture: sleeping tests and a throwaway-event wait."""
+
+import threading
+import time
+
+
+def test_waits_badly():
+    time.sleep(0.5)  # RL005: no sleep-ok annotation
+    threading.Event().wait(0.1)  # RL005: nobody can ever set this event

@@ -1,0 +1,13 @@
+"""RL005 fixture: named-event synchronisation and an annotated sleep."""
+
+import threading
+import time
+
+
+def test_waits_well():
+    ready = threading.Event()
+    worker = threading.Thread(target=ready.set)
+    worker.start()
+    assert ready.wait(5.0)
+    worker.join()
+    time.sleep(0.01)  # sleep-ok: bounded poll in a fixture

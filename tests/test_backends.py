@@ -95,7 +95,7 @@ class TestKernelParity:
         coupling = device.coupling
         rng = random.Random(seed)
         candidates = _candidate_edges(coupling)
-        for trial in range(5):
+        for _trial in range(5):
             layout = _random_layout(rng, coupling.num_qubits)
             targets = _random_gates(rng, coupling.num_qubits, rng.randint(1, 6))
             lookahead = _random_gates(rng, coupling.num_qubits,
@@ -122,7 +122,7 @@ class TestKernelParity:
         coupling = device.coupling
         rng = random.Random(seed)
         candidates = _candidate_edges(coupling)
-        for trial in range(8):
+        for _trial in range(8):
             layout = _random_layout(rng, coupling.num_qubits)
             # A single gate makes most candidates score 0 — maximal ties, so
             # this exercises the smallest-edge tie-break hardest.
@@ -142,7 +142,7 @@ class TestKernelParity:
         coupling = device.coupling
         rng = random.Random(seed)
         candidates = _candidate_edges(coupling)
-        for trial in range(5):
+        for _trial in range(5):
             layout = _random_layout(rng, coupling.num_qubits)
             front = _random_gates(rng, coupling.num_qubits, rng.randint(1, 4))
             extended = _random_gates(rng, coupling.num_qubits,
@@ -163,7 +163,7 @@ class TestKernelParity:
         device = build_device(device_name)
         coupling = device.coupling
         rng = random.Random(10)
-        for trial in range(10):
+        for _trial in range(10):
             layout = _random_layout(rng, coupling.num_qubits)
             pairs = [tuple(rng.sample(range(coupling.num_qubits), 2))
                      for _ in range(rng.randint(1, 6))]

@@ -159,7 +159,7 @@ class TestHealthMonitor:
             deadline = time.monotonic() + 10.0
             while ring.members[0].alive:
                 assert time.monotonic() < deadline, "member never ejected"
-                time.sleep(0.02)
+                time.sleep(0.02)  # sleep-ok: bounded poll of background health prober
         finally:
             monitor.stop()
 
@@ -214,7 +214,7 @@ class TestGateway:
         one shard and coalesce there — exactly one compilation cluster-wide."""
         for shard in shards:
             shard.scheduler.pause()
-        time.sleep(0.2)  # let in-pop workers settle behind the pause gate
+        time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
         job, herd = _job(4), 6
         replies, errors = [], []
         lock = threading.Lock()
@@ -237,7 +237,7 @@ class TestGateway:
         while sum(s.metrics.counter("coalesced") for s in shards) < herd - 1:
             assert not errors, errors[:1]
             assert time.monotonic() < deadline, "submissions never coalesced"
-            time.sleep(0.01)
+            time.sleep(0.01)  # sleep-ok: bounded poll for cross-thread counter
         for shard in shards:
             shard.scheduler.resume()
         for thread in threads:
@@ -315,7 +315,7 @@ class TestGateway:
         with CompileServer(port=0, workers=1, max_depth=1) as tiny:
             with ClusterGateway([tiny.url]) as front:
                 tiny.scheduler.pause()
-                time.sleep(0.2)
+                time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
                 client = CompileClient(front.url, retries=0)
                 client.submit(_job(3))
                 with pytest.raises(ServerError) as excinfo:
@@ -428,7 +428,7 @@ class TestFailover:
         while len(gateway.ring.alive_members()) == 2:
             assert time.monotonic() < deadline, "dead shard never ejected"
             assert client.compile(_job(3, seed=99), timeout=60.0).ok
-            time.sleep(0.05)
+            time.sleep(0.05)  # sleep-ok: bounded poll of failover ejection
         alive = gateway.ring.alive_members()
         assert [m.name for m in alive] == ["shard1"]
         health = client.health()

@@ -24,7 +24,7 @@ from repro.obs import (TraceContext, activate, configure, configure_store,
 from repro.obs.logging import STDERR
 from repro.obs.profile import SamplingProfiler, profile_window
 from repro.obs.store import SpanStore
-from repro.server import CompileClient, CompileServer
+from repro.server import CompileClient, CompileServer, ServerError
 from repro.service import make_job
 from repro.workloads.generators import ghz
 
@@ -418,7 +418,7 @@ class TestHTTPTracePropagation:
             client = CompileClient(server.url)
             client.health()
             client.metrics()
-            with pytest.raises(Exception):
+            with pytest.raises(ServerError):
                 client.status("no-such-key")
         assert len(get_store()) == 0
 

@@ -129,7 +129,7 @@ class TestSchedulerProperties:
                 per_qubit.setdefault(q, []).append((sg.start, sg.finish))
         for intervals in per_qubit.values():
             intervals.sort()
-            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            for (_s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
                 assert f1 <= s2
         # Makespan bounded by fully serial execution and at least the busiest qubit.
         serial = sum(DUR.duration_of(g) for g in circuit.gates)

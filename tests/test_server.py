@@ -386,7 +386,7 @@ class TestScheduler:
 
             @staticmethod
             def compile_one(job):
-                time.sleep(0.5)
+                time.sleep(0.5)  # sleep-ok: fake service simulating a slow compile
                 return CompileOutcome(job_key=job.key, status="ok",
                                       summary={}, routed_qasm="")
 
@@ -499,7 +499,7 @@ class TestHttpApi:
 
     def test_pending_result_is_202(self, server, client):
         server.scheduler.pause()
-        time.sleep(0.2)  # let in-pop workers settle behind the pause gate
+        time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
         job = _job(5)
         client.submit(job)
         with pytest.raises(ServerError) as excinfo:
@@ -549,7 +549,7 @@ class TestHttpApi:
             server.scheduler.pause()
             # A worker already blocked inside pop() still grabs one job;
             # give it a poll interval to settle behind the pause gate.
-            time.sleep(0.2)
+            time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
             client = CompileClient(server.url)
             client.submit(_job(3))
             with pytest.raises(ServerError) as excinfo:
@@ -666,7 +666,7 @@ class TestCoalescingEndToEnd:
     def test_concurrent_identical_submissions_compile_once(self, server):
         """ISSUE 2 acceptance: >= 4 concurrent clients, one compilation."""
         server.scheduler.pause()  # hold the queue so every client attaches
-        time.sleep(0.2)  # let in-pop workers settle behind the pause gate
+        time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
         job = make_job(qft(4), "ibm_q20_tokyo", "codar")
         replies: list[dict] = []
         errors: list[Exception] = []
@@ -684,7 +684,7 @@ class TestCoalescingEndToEnd:
         deadline = time.monotonic() + 10.0
         while server.metrics.counter("coalesced") < 4:
             assert time.monotonic() < deadline, "submissions never coalesced"
-            time.sleep(0.01)
+            time.sleep(0.01)  # sleep-ok: bounded poll for coalesced counter
         server.scheduler.resume()
         for thread in threads:
             thread.join(60.0)

@@ -355,7 +355,7 @@ class TestConcurrentWriters:
                    threading.Thread(target=measure)]
         for thread in threads:
             thread.start()
-        time.sleep(1.0)
+        time.sleep(1.0)  # sleep-ok: fixed race window for the contention probe
         stop.set()
         for thread in threads:
             thread.join(30.0)

@@ -41,7 +41,7 @@ class TestAlapSchedule:
                 per_qubit.setdefault(q, []).append((sg.start, sg.finish))
         for intervals in per_qubit.values():
             intervals.sort()
-            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            for (_s1, f1), (s2, _f2) in zip(intervals, intervals[1:]):
                 assert f1 <= s2
 
     def test_gates_pushed_late(self):

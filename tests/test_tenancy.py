@@ -165,7 +165,7 @@ class TestTenantHTTP:
         with CompileServer(port=0, workers=1, monitor=False,
                            tenant_quotas={"alice": 2}) as server:
             server.scheduler.pause()
-            time.sleep(0.2)  # let an in-pop worker settle
+            time.sleep(0.2)  # sleep-ok: let an in-pop worker settle
             alice = CompileClient(server.url, retries=0, tenant="alice")
             bob = CompileClient(server.url, retries=0, tenant="bob")
             for seed in (1, 2):
@@ -194,7 +194,7 @@ class TestTenantHTTP:
     def test_cross_tenant_coalescing_shares_work_splits_attribution(self):
         with CompileServer(port=0, workers=1, monitor=False) as server:
             server.scheduler.pause()
-            time.sleep(0.2)
+            time.sleep(0.2)  # sleep-ok: let in-pop workers settle behind the pause gate
             job = _job(seed=42)
             alice = CompileClient(server.url, tenant="alice")
             bob = CompileClient(server.url, tenant="bob")
@@ -206,7 +206,7 @@ class TestTenantHTTP:
             while time.monotonic() < deadline:
                 if server.metrics.snapshot()["completed"]:
                     break
-                time.sleep(0.05)
+                time.sleep(0.05)  # sleep-ok: bounded poll for completion counter
             tenants = server.metrics.snapshot()["tenants"]
             # One compilation (alice led, so completion is hers); bob's
             # submission is attributed to bob as a coalesced admit.
